@@ -1,0 +1,254 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§4), plus the extension experiments and ablations indexed in
+// DESIGN.md. The experiments run in virtual time on the simulated testbed;
+// each benchmark reports the figure's headline quantity as a custom metric,
+// so `go test -bench=. -benchmem` regenerates the whole evaluation:
+//
+//	BenchmarkFigure5EndToEndLatency    — E1: latency with/without the service
+//	BenchmarkCCSMessageCounts          — E2: duplicate suppression on the wire
+//	BenchmarkFigure6aReadIntervals     — E3: group vs physical read intervals
+//	BenchmarkFigure6bWinnerOffset      — E4: the synchronizer's offset trend
+//	BenchmarkFigure6cGroupClockDrift   — E5: group clock runs slow
+//	BenchmarkFigure1RawClockInconsistency — E6: the motivating inconsistency
+//	BenchmarkRollbackOnFailover        — E7: roll-back (baseline) vs monotone (CTS)
+//	BenchmarkRecoverySpecialRound      — E8: new-clock integration
+//	BenchmarkDriftCompensation         — E9: §3.3 strategies
+//	BenchmarkTokenPassingTime          — E10: ring calibration vs the paper's 51µs
+//	BenchmarkGroupSizeScaling          — E11: CCS round latency vs group size
+//	BenchmarkAblationSafeVsAgreedCCS   — design-choice ablation (DESIGN.md)
+//
+// Absolute wall-clock ns/op measures simulator speed, not testbed latency;
+// the custom metrics carry the reproduced quantities.
+package cts_test
+
+import (
+	"testing"
+	"time"
+
+	"cts/internal/core"
+	"cts/internal/experiment"
+	"cts/internal/wire"
+)
+
+// benchSeed keeps benchmark runs deterministic and comparable.
+const benchSeed = 2003
+
+func BenchmarkFigure5EndToEndLatency(b *testing.B) {
+	var overhead, with, without time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFigure5(benchSeed+int64(i), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = r.Overhead()
+		with = r.With.Mean()
+		without = r.Without.Mean()
+	}
+	b.ReportMetric(float64(overhead.Microseconds()), "overhead_µs")
+	b.ReportMetric(float64(with.Microseconds()), "with_cts_µs")
+	b.ReportMetric(float64(without.Microseconds()), "without_µs")
+}
+
+func BenchmarkCCSMessageCounts(b *testing.B) {
+	var total, max uint64
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunMessageCounts(benchSeed+int64(i), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = r.TotalSent
+		rounds = r.Rounds
+		max = 0
+		for _, n := range r.PerNode {
+			if n > max {
+				max = n
+			}
+		}
+	}
+	b.ReportMetric(float64(total)/float64(rounds), "ccs_msgs/round")
+	b.ReportMetric(float64(max)/float64(rounds)*100, "winner_share_%")
+}
+
+func BenchmarkFigure6aReadIntervals(b *testing.B) {
+	var meanGroup, meanPhys time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFigure6(benchSeed+int64(i), 1000, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sg, sp time.Duration
+		for j := 0; j < r.Rounds; j++ {
+			sg += r.IntervalGroup[j]
+			sp += r.IntervalPhys[1][j]
+		}
+		meanGroup = sg / time.Duration(r.Rounds)
+		meanPhys = sp / time.Duration(r.Rounds)
+	}
+	b.ReportMetric(float64(meanGroup.Microseconds()), "group_interval_µs")
+	b.ReportMetric(float64(meanPhys.Microseconds()), "phys_interval_µs")
+}
+
+func BenchmarkFigure6bWinnerOffset(b *testing.B) {
+	var first, last time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFigure6(benchSeed+int64(i), 1000, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first = r.WinnerOffset[0]
+		last = r.WinnerOffset[len(r.WinnerOffset)-1]
+	}
+	b.ReportMetric(float64(first.Microseconds()), "offset_round1_µs")
+	b.ReportMetric(float64(last.Microseconds()), "offset_round20_µs")
+}
+
+func BenchmarkFigure6cGroupClockDrift(b *testing.B) {
+	var lag time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFigure6(benchSeed+int64(i), 1000, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastIdx := r.Rounds - 1
+		lag = r.NormPhys[1][lastIdx] - r.NormGroup[lastIdx]
+	}
+	b.ReportMetric(float64(lag.Microseconds()), "lag_after_20_rounds_µs")
+}
+
+func BenchmarkFigure1RawClockInconsistency(b *testing.B) {
+	var raw, cts time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFigure1(benchSeed+int64(i), 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw = r.SpreadRaw.Mean()
+		cts = r.SpreadCTS.Max()
+	}
+	b.ReportMetric(float64(raw.Microseconds()), "raw_spread_µs")
+	b.ReportMetric(float64(cts.Microseconds()), "cts_spread_µs")
+}
+
+func BenchmarkRollbackOnFailover(b *testing.B) {
+	var baseline, cts time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunRollback(benchSeed+int64(i), -5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline = r.BaselineJump()
+		cts = r.CTSJump()
+	}
+	b.ReportMetric(float64(baseline.Milliseconds()), "baseline_jump_ms")
+	b.ReportMetric(float64(cts.Milliseconds()), "cts_jump_ms")
+}
+
+func BenchmarkRecoverySpecialRound(b *testing.B) {
+	var jump time.Duration
+	var specials uint64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunRecovery(benchSeed+int64(i), 200*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jump = r.After - r.Before
+		specials = r.SpecialRounds
+	}
+	b.ReportMetric(float64(jump.Microseconds()), "clock_jump_µs")
+	b.ReportMetric(float64(specials), "special_rounds")
+}
+
+func BenchmarkDriftCompensation(b *testing.B) {
+	var none, mean, ext time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunDrift(benchSeed+int64(i), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		none = r.LagPerMode[core.CompNone]
+		mean = r.LagPerMode[core.CompMeanDelay]
+		ext = r.LagPerMode[core.CompExternal]
+	}
+	b.ReportMetric(float64(none.Microseconds()), "lag_none_µs")
+	b.ReportMetric(float64(mean.Microseconds()), "lag_meandelay_µs")
+	b.ReportMetric(float64(ext.Microseconds()), "lag_external_µs")
+}
+
+func BenchmarkTokenPassingTime(b *testing.B) {
+	var mode, p50 time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunTokenTiming(benchSeed+int64(i), 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mode = r.Mode
+		p50 = r.Hops.Median()
+	}
+	b.ReportMetric(float64(mode.Microseconds()), "peak_bin_µs")
+	b.ReportMetric(float64(p50.Microseconds()), "p50_µs")
+}
+
+func BenchmarkGroupSizeScaling(b *testing.B) {
+	sizes := []int{2, 4, 8, 16}
+	var r *experiment.ScalingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunScaling(benchSeed+int64(i), sizes, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, size := range sizes {
+		b.ReportMetric(float64(r.MeanLat[size].Microseconds()),
+			"mean_µs_"+itoa(size)+"rep")
+	}
+}
+
+func BenchmarkAblationSafeVsAgreedCCS(b *testing.B) {
+	var r *experiment.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunCCSAblation(benchSeed+int64(i), 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64((r.SafeMean - r.Baseline).Microseconds()), "safe_overhead_µs")
+	b.ReportMetric(float64((r.AgreedMean - r.Baseline).Microseconds()), "agreed_overhead_µs")
+}
+
+// Micro-benchmarks for the hot codec paths (real time, not virtual).
+
+func BenchmarkWireMarshalCCS(b *testing.B) {
+	msg := wire.Message{
+		Header: wire.Header{Type: wire.TypeCCS, SrcGroup: 100, DstGroup: 100,
+			Conn: 1, Seq: 42},
+		Payload: wire.MarshalCCS(wire.CCSPayload{
+			ThreadID: 1, Proposed: 8 * time.Hour, Op: wire.OpGettimeofday}),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := wire.Marshal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

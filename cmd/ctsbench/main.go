@@ -1,0 +1,114 @@
+// Command ctsbench regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated testbed, plus the extension experiments
+// indexed in DESIGN.md. Experiments run in virtual time, so even the
+// paper-scale runs (-full, 10,000 invocations) finish quickly.
+//
+// Usage:
+//
+//	ctsbench -exp all            # every experiment, scaled-down sizes
+//	ctsbench -exp fig5 -full     # Figure 5 at the paper's 10,000 invocations
+//	ctsbench -exp fig6 -seed 7   # Figure 6 with a different seed
+//
+// Experiments: fig1, fig5, fig6 (6a/6b/6c), msgcounts, rollback, recovery,
+// drift, token, scale, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cts/internal/experiment"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment to run (fig1|fig5|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
+		seed = flag.Int64("seed", 2003, "simulation seed")
+		full = flag.Bool("full", false, "run at the paper's full sizes (10,000 invocations)")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *seed, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "ctsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64, full bool) error {
+	invocations := 1000
+	ops := 1000
+	if full {
+		invocations = 10000
+		ops = 10000
+	}
+
+	type runner struct {
+		name string
+		fn   func() (interface{ Render() string }, error)
+	}
+	runners := []runner{
+		{"fig1", func() (interface{ Render() string }, error) {
+			return experiment.RunFigure1(seed, min(ops, 2000))
+		}},
+		{"fig5", func() (interface{ Render() string }, error) {
+			return experiment.RunFigure5(seed, invocations)
+		}},
+		{"fig6", func() (interface{ Render() string }, error) {
+			return experiment.RunFigure6(seed, ops, 20)
+		}},
+		{"msgcounts", func() (interface{ Render() string }, error) {
+			return experiment.RunMessageCounts(seed, ops)
+		}},
+		{"rollback", func() (interface{ Render() string }, error) {
+			return experiment.RunRollback(seed, -5*time.Second)
+		}},
+		{"recovery", func() (interface{ Render() string }, error) {
+			return experiment.RunRecovery(seed, 200*time.Second)
+		}},
+		{"drift", func() (interface{ Render() string }, error) {
+			return experiment.RunDrift(seed, min(ops, 2000))
+		}},
+		{"token", func() (interface{ Render() string }, error) {
+			return experiment.RunTokenTiming(seed, min(invocations, 5000))
+		}},
+		{"scale", func() (interface{ Render() string }, error) {
+			return experiment.RunScaling(seed, []int{2, 4, 8, 12, 16}, 200)
+		}},
+		{"ablation", func() (interface{ Render() string }, error) {
+			return experiment.RunCCSAblation(seed, min(invocations, 2000))
+		}},
+	}
+
+	aliases := map[string]string{"fig6a": "fig6", "fig6b": "fig6", "fig6c": "fig6"}
+	if canonical, ok := aliases[exp]; ok {
+		exp = canonical
+	}
+
+	matched := false
+	for _, r := range runners {
+		if exp != "all" && exp != r.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		res, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("=== %s (seed %d, %v wall) ===\n%s\n", r.name, seed,
+			time.Since(start).Round(time.Millisecond), res.Render())
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

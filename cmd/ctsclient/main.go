@@ -1,0 +1,139 @@
+// Command ctsclient invokes the CurrentTime method of a ctsnode server group
+// over real UDP and prints the returned group clock values with end-to-end
+// latencies — the paper's client on node P0.
+//
+//	ctsclient -id 0 -peers 0=127.0.0.1:9000,1=127.0.0.1:9001,... -n 100
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cts/internal/gcs"
+	"cts/internal/rpc"
+	"cts/internal/sim"
+	"cts/internal/stats"
+	"cts/internal/transport"
+	"cts/internal/udptransport"
+	"cts/internal/wire"
+)
+
+const (
+	serverGroup wire.GroupID = 100
+	clientGroup wire.GroupID = 900
+)
+
+func main() {
+	var (
+		id    = flag.Uint("id", 0, "this processor's node id")
+		peers = flag.String("peers", "", "comma-separated id=host:port list for every ring member")
+		n     = flag.Int("n", 10, "number of invocations")
+		gap   = flag.Duration("gap", 10*time.Millisecond, "pause between invocations")
+		quiet = flag.Bool("q", false, "print only the summary")
+	)
+	flag.Parse()
+	if err := run(uint32(*id), *peers, *n, *gap, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "ctsclient:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePeers(s string) (map[transport.NodeID]string, error) {
+	out := make(map[transport.NodeID]string)
+	if s == "" {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	var start int
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != ',' {
+			continue
+		}
+		entry := s[start:i]
+		start = i + 1
+		var id uint32
+		var addr string
+		if cnt, err := fmt.Sscanf(entry, "%d=%s", &id, &addr); cnt != 2 || err != nil {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", entry)
+		}
+		out[transport.NodeID(id)] = addr
+	}
+	return out, nil
+}
+
+func run(id uint32, peerSpec string, n int, gap time.Duration, quiet bool) error {
+	peers, err := parsePeers(peerSpec)
+	if err != nil {
+		return err
+	}
+	self, ok := peers[transport.NodeID(id)]
+	if !ok {
+		return fmt.Errorf("node %d not present in -peers", id)
+	}
+	tr, err := udptransport.New(transport.NodeID(id), self)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	var ring []transport.NodeID
+	for pid, addr := range peers {
+		ring = append(ring, pid)
+		if pid != transport.NodeID(id) {
+			if err := tr.SetPeer(pid, addr); err != nil {
+				return err
+			}
+		}
+	}
+
+	loop := sim.NewLoop()
+	defer loop.Close()
+	stack, err := gcs.New(gcs.Config{
+		Runtime:     loop,
+		Transport:   tr,
+		RingMembers: ring,
+		Bootstrap:   true,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Stop()
+	client, err := rpc.NewClient(rpc.ClientConfig{
+		Runtime:     loop,
+		Stack:       stack,
+		ClientGroup: clientGroup,
+		ServerGroup: serverGroup,
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	stack.Start()
+	time.Sleep(300 * time.Millisecond) // let the ring and group views settle
+
+	var lat stats.Durations
+	var prev uint64
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		body, err := client.InvokeSync("CurrentTime", nil)
+		if err != nil {
+			return fmt.Errorf("invocation %d: %w", i, err)
+		}
+		d := time.Since(start)
+		lat.Add(d)
+		v := binary.BigEndian.Uint64(body)
+		if !quiet {
+			mono := ""
+			if v < prev {
+				mono = "  ROLLBACK!"
+			}
+			fmt.Printf("%3d  group-clock=%v  latency=%v%s\n",
+				i, time.Duration(v), d, mono)
+		}
+		prev = v
+		time.Sleep(gap)
+	}
+	fmt.Printf("latency: %s\n", lat.Summary())
+	return nil
+}

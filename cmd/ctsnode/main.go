@@ -1,0 +1,198 @@
+// Command ctsnode runs one replica of a consistent-time server group over
+// real UDP — the production counterpart of the paper's testbed nodes P1–P3.
+// The replicated application answers a CurrentTime method whose result is
+// the group clock, read through the consistent time service.
+//
+// A three-replica group on one machine:
+//
+//	ctsnode -id 1 -peers 0=127.0.0.1:9000,1=127.0.0.1:9001,2=127.0.0.1:9002,3=127.0.0.1:9003 &
+//	ctsnode -id 2 -peers ... &
+//	ctsnode -id 3 -peers ... &
+//	ctsclient -id 0 -peers ...
+//
+// The -peers list names every processor in the ring (clients included).
+// Flags -style (active|passive|semiactive) and -recover (join an existing
+// group via state transfer) select the replication behavior.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cts/internal/core"
+	"cts/internal/gcs"
+	"cts/internal/hwclock"
+	"cts/internal/replication"
+	"cts/internal/sim"
+	"cts/internal/transport"
+	"cts/internal/udptransport"
+	"cts/internal/wire"
+)
+
+const serverGroup wire.GroupID = 100
+
+func main() {
+	var (
+		id      = flag.Uint("id", 1, "this processor's node id")
+		peers   = flag.String("peers", "", "comma-separated id=host:port list for every ring member")
+		style   = flag.String("style", "active", "replication style: active|passive|semiactive")
+		recover = flag.Bool("recover", false, "join an existing group via state transfer")
+		verbose = flag.Bool("v", false, "log rounds and views")
+	)
+	flag.Parse()
+	if err := run(uint32(*id), *peers, *style, *recover, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "ctsnode:", err)
+		os.Exit(1)
+	}
+}
+
+// parsePeers parses "0=127.0.0.1:9000,1=..." into a node→address map.
+func parsePeers(s string) (map[transport.NodeID]string, error) {
+	out := make(map[transport.NodeID]string)
+	if s == "" {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	var start int
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != ',' {
+			continue
+		}
+		entry := s[start:i]
+		start = i + 1
+		var id uint32
+		var addr string
+		if n, err := fmt.Sscanf(entry, "%d=%s", &id, &addr); n != 2 || err != nil {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", entry)
+		}
+		out[transport.NodeID(id)] = addr
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("need at least two peers, got %d", len(out))
+	}
+	return out, nil
+}
+
+func parseStyle(s string) (replication.Style, error) {
+	switch s {
+	case "active":
+		return replication.Active, nil
+	case "passive":
+		return replication.Passive, nil
+	case "semiactive":
+		return replication.SemiActive, nil
+	default:
+		return 0, fmt.Errorf("unknown style %q", s)
+	}
+}
+
+// timeApp is the replicated server: CurrentTime returns the group clock.
+type timeApp struct {
+	svc *core.TimeService
+}
+
+func (a *timeApp) Invoke(ctx *replication.Ctx, method string, body []byte) []byte {
+	switch method {
+	case "CurrentTime":
+		v := a.svc.Gettimeofday(ctx)
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, uint64(v))
+		return out
+	}
+	return nil
+}
+func (a *timeApp) Snapshot() []byte { return nil }
+func (a *timeApp) Restore([]byte)   {}
+
+func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool) error {
+	peers, err := parsePeers(peerSpec)
+	if err != nil {
+		return err
+	}
+	style, err := parseStyle(styleSpec)
+	if err != nil {
+		return err
+	}
+	self, ok := peers[transport.NodeID(id)]
+	if !ok {
+		return fmt.Errorf("node %d not present in -peers", id)
+	}
+
+	tr, err := udptransport.New(transport.NodeID(id), self)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	var ring []transport.NodeID
+	for pid, addr := range peers {
+		ring = append(ring, pid)
+		if pid != transport.NodeID(id) {
+			if err := tr.SetPeer(pid, addr); err != nil {
+				return err
+			}
+		}
+	}
+
+	loop := sim.NewLoop()
+	defer loop.Close()
+	stack, err := gcs.New(gcs.Config{
+		Runtime:     loop,
+		Transport:   tr,
+		RingMembers: ring,
+		Bootstrap:   !recovering,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Stop()
+
+	app := &timeApp{}
+	mgr, err := replication.New(replication.Config{
+		Runtime:    loop,
+		Stack:      stack,
+		Group:      serverGroup,
+		Style:      style,
+		App:        app,
+		Recovering: recovering,
+		OnStatus: func(st replication.Status) {
+			if verbose {
+				log.Printf("status: style=%v primary=%v inPrimary=%v live=%v members=%v",
+					st.Style, st.Primary, st.InPrimary, st.Live, st.Members)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ccfg := core.Config{Manager: mgr, Clock: hwclock.SystemClock{}}
+	if verbose {
+		ccfg.OnRound = func(r core.RoundReport) {
+			log.Printf("round %d: group=%v offset=%v winner=%v",
+				r.Round, r.GroupClock, r.Offset, r.Winner)
+		}
+	}
+	svc, err := core.New(ccfg)
+	if err != nil {
+		return err
+	}
+	app.svc = svc
+	if err := mgr.Start(); err != nil {
+		return err
+	}
+	stack.Start()
+	log.Printf("ctsnode %d up (style %v, %d ring members, group %d)",
+		id, style, len(ring), serverGroup)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("ctsnode %d shutting down", id)
+	// Give in-flight traffic a moment to drain before the deferred stops.
+	time.Sleep(100 * time.Millisecond)
+	return nil
+}

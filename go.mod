@@ -1,0 +1,3 @@
+module cts
+
+go 1.22

@@ -1,0 +1,642 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"cts/internal/gcs"
+	"cts/internal/hwclock"
+	"cts/internal/replication"
+	"cts/internal/rpc"
+	"cts/internal/sim"
+	"cts/internal/simnet"
+	"cts/internal/transport"
+	"cts/internal/wire"
+)
+
+const (
+	serverGroup wire.GroupID = 100
+	clientGroup wire.GroupID = 900
+)
+
+// clockApp performs clock reads through the consistent time service. Each
+// "read" invocation does one Sleep followed by one Gettimeofday and records
+// the value.
+type clockApp struct {
+	svc      *TimeService
+	delay    time.Duration
+	readings []time.Duration
+}
+
+func (a *clockApp) Invoke(ctx *replication.Ctx, method string, body []byte) []byte {
+	switch method {
+	case "read":
+		if a.delay > 0 {
+			ctx.Sleep(a.delay)
+		}
+		v := a.svc.Gettimeofday(ctx)
+		a.readings = append(a.readings, v)
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, uint64(v))
+		return out
+	case "read-ops":
+		// One read per op type, to check granularities.
+		g := a.svc.Clock(ctx)
+		vals := []time.Duration{g.Gettimeofday(), g.Ftime(), g.Time()}
+		out := make([]byte, 24)
+		for i, v := range vals {
+			binary.BigEndian.PutUint64(out[i*8:], uint64(v))
+			a.readings = append(a.readings, v)
+		}
+		return out
+	}
+	return nil
+}
+
+func (a *clockApp) Snapshot() []byte {
+	out := make([]byte, 8*len(a.readings))
+	for i, v := range a.readings {
+		binary.BigEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+func (a *clockApp) Restore(state []byte) {
+	a.readings = nil
+	for off := 0; off+8 <= len(state); off += 8 {
+		a.readings = append(a.readings, time.Duration(binary.BigEndian.Uint64(state[off:])))
+	}
+}
+
+type coreHarness struct {
+	t       *testing.T
+	k       *sim.Kernel
+	net     *simnet.Network
+	stacks  map[transport.NodeID]*gcs.Stack
+	mgrs    map[transport.NodeID]*replication.Manager
+	apps    map[transport.NodeID]*clockApp
+	svcs    map[transport.NodeID]*TimeService
+	reports map[transport.NodeID][]RoundReport
+}
+
+func newCoreHarness(t *testing.T, seed int64) *coreHarness {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	return &coreHarness{
+		t:       t,
+		k:       k,
+		net:     simnet.NewNetwork(k, nil),
+		stacks:  make(map[transport.NodeID]*gcs.Stack),
+		mgrs:    make(map[transport.NodeID]*replication.Manager),
+		apps:    make(map[transport.NodeID]*clockApp),
+		svcs:    make(map[transport.NodeID]*TimeService),
+		reports: make(map[transport.NodeID][]RoundReport),
+	}
+}
+
+func (h *coreHarness) addStack(id transport.NodeID, ring []transport.NodeID, bootstrap bool) {
+	h.t.Helper()
+	s, err := gcs.New(gcs.Config{
+		Runtime:     h.k,
+		Transport:   h.net.Endpoint(id),
+		RingMembers: ring,
+		Bootstrap:   bootstrap,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.stacks[id] = s
+}
+
+// addReplica creates manager + time service + clock app on node id with the
+// given physical clock.
+func (h *coreHarness) addReplica(id transport.NodeID, style replication.Style,
+	recovering bool, clock hwclock.Clock, opts ...func(*Config)) {
+	h.t.Helper()
+	app := &clockApp{delay: 50 * time.Microsecond}
+	m, err := replication.New(replication.Config{
+		Runtime:         h.k,
+		Stack:           h.stacks[id],
+		Group:           serverGroup,
+		Style:           style,
+		App:             app,
+		Recovering:      recovering,
+		CheckpointEvery: 4,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	cfg := Config{
+		Manager: m,
+		Clock:   clock,
+		OnRound: func(r RoundReport) {
+			h.reports[id] = append(h.reports[id], r)
+		},
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	app.svc = svc
+	if err := m.Start(); err != nil {
+		h.t.Fatal(err)
+	}
+	h.mgrs[id] = m
+	h.apps[id] = app
+	h.svcs[id] = svc
+}
+
+func (h *coreHarness) newClient(id transport.NodeID) *rpc.Client {
+	h.t.Helper()
+	c, err := rpc.NewClient(rpc.ClientConfig{
+		Runtime:     h.k,
+		Stack:       h.stacks[id],
+		ClientGroup: clientGroup,
+		ServerGroup: serverGroup,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return c
+}
+
+func (h *coreHarness) runUntil(max time.Duration, cond func() bool) bool {
+	deadline := h.k.Now() + max
+	for h.k.Now() < deadline {
+		if cond() {
+			return true
+		}
+		h.k.RunFor(200 * time.Microsecond)
+	}
+	return cond()
+}
+
+// simClock builds a physical clock over the kernel with offset/drift.
+func (h *coreHarness) simClock(offset time.Duration, driftPPM float64) hwclock.Clock {
+	return hwclock.NewSim(h.k.Now, hwclock.WithOffset(offset), hwclock.WithDriftPPM(driftPPM))
+}
+
+// standardSetup: client on node 0, three replicas on 1,2,3 with the given
+// physical clock offsets (mirroring the paper's Figure 4: clocks disagree).
+func standardSetup(t *testing.T, seed int64, style replication.Style) (*coreHarness, *rpc.Client) {
+	h := newCoreHarness(t, seed)
+	ring := []transport.NodeID{0, 1, 2, 3}
+	for _, id := range ring {
+		h.addStack(id, ring, true)
+	}
+	offsets := []time.Duration{0, 5 * time.Second, 15 * time.Second}
+	for i, id := range ring[1:] {
+		h.addReplica(id, style, false, h.simClock(offsets[i], 0))
+	}
+	client := h.newClient(0)
+	for _, s := range h.stacks {
+		s.Start()
+	}
+	h.k.RunFor(3 * time.Millisecond)
+	return h, client
+}
+
+// driveReads performs n sequential "read" invocations.
+func driveReads(t *testing.T, h *coreHarness, client *rpc.Client, n int) []uint64 {
+	t.Helper()
+	var replies []uint64
+	var invoke func()
+	invoke = func() {
+		client.Invoke("read", nil, func(r rpc.Reply) {
+			if r.Err != nil {
+				t.Errorf("invoke: %v", r.Err)
+				return
+			}
+			replies = append(replies, binary.BigEndian.Uint64(r.Body))
+			if len(replies) < n {
+				invoke()
+			}
+		})
+	}
+	invoke()
+	if !h.runUntil(time.Duration(n)*50*time.Millisecond+5*time.Second,
+		func() bool { return len(replies) >= n }) {
+		t.Fatalf("completed %d/%d reads", len(replies), n)
+	}
+	return replies
+}
+
+func TestActiveReplicasReturnIdenticalClockValues(t *testing.T) {
+	h, client := standardSetup(t, 1, replication.Active)
+	driveReads(t, h, client, 20)
+
+	// Despite physical clocks 0s/5s/15s apart, every replica recorded the
+	// identical sequence of group clock values.
+	a, b, c := h.apps[1].readings, h.apps[2].readings, h.apps[3].readings
+	if len(a) != 20 || len(b) != 20 || len(c) != 20 {
+		t.Fatalf("readings: %d/%d/%d, want 20 each", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i] != b[i] || b[i] != c[i] {
+			t.Fatalf("reading %d diverges: %v %v %v", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+func TestGroupClockMonotonicallyIncreasing(t *testing.T) {
+	h, client := standardSetup(t, 2, replication.Active)
+	replies := driveReads(t, h, client, 30)
+	for i := 1; i < len(replies); i++ {
+		if replies[i] < replies[i-1] {
+			t.Fatalf("group clock rolled back at %d: %d -> %d", i, replies[i-1], replies[i])
+		}
+	}
+	for _, id := range []transport.NodeID{1, 2, 3} {
+		if n := h.svcs[id].StatsSnapshot().MonotonicityFixes; n != 0 {
+			t.Fatalf("replica %v needed %d defensive monotonicity fixes", id, n)
+		}
+	}
+}
+
+func TestOffsetAlgebra(t *testing.T) {
+	h, client := standardSetup(t, 3, replication.Active)
+	driveReads(t, h, client, 10)
+	for _, id := range []transport.NodeID{1, 2, 3} {
+		for i, r := range h.reports[id] {
+			if r.Offset != r.GroupClock-r.Physical {
+				t.Fatalf("replica %v round %d: offset %v != group %v − physical %v",
+					id, i, r.Offset, r.GroupClock, r.Physical)
+			}
+		}
+	}
+	// Whoever won the first round, the offsets must absorb the physical
+	// clock disagreement: replica 3's clock runs 15s ahead of replica 1's,
+	// so its offset must sit ≈15s below replica 1's.
+	last1 := h.reports[1][len(h.reports[1])-1]
+	last3 := h.reports[3][len(h.reports[3])-1]
+	gap := last1.Offset - last3.Offset
+	if gap < 15*time.Second-time.Millisecond || gap > 15*time.Second+time.Millisecond {
+		t.Fatalf("offset gap = %v, want ≈ 15s (offsets %v vs %v)",
+			gap, last1.Offset, last3.Offset)
+	}
+}
+
+func TestCCSDuplicateSuppressionOnWire(t *testing.T) {
+	h, client := standardSetup(t, 4, replication.Active)
+	const n = 40
+	driveReads(t, h, client, n)
+	h.k.RunFor(10 * time.Millisecond)
+
+	var sent, suppressed uint64
+	for _, id := range []transport.NodeID{1, 2, 3} {
+		st := h.svcs[id].StatsSnapshot()
+		sent += st.CCSSent
+		suppressed += st.CCSSuppressed + st.FromBuffer
+	}
+	// Every replica attempts one CCS per round (3n attempts); suppression
+	// and buffering must eliminate the large majority of duplicates, as in
+	// §4.3 (counts 1 / 9,977 / 22 for 10,000 rounds).
+	if sent < n {
+		t.Fatalf("sent %d CCS messages for %d rounds; at least one per round required", sent, n)
+	}
+	if sent > n+n/2 {
+		t.Fatalf("%d CCS messages reached the wire for %d rounds; suppression ineffective (suppressed=%d)",
+			sent, n, suppressed)
+	}
+}
+
+func TestPassiveOnlyPrimarySendsCCS(t *testing.T) {
+	h, client := standardSetup(t, 5, replication.Passive)
+	driveReads(t, h, client, 10)
+	h.k.RunFor(5 * time.Millisecond)
+
+	st1 := h.svcs[1].StatsSnapshot()
+	// 10 reads plus one special round per periodic checkpoint.
+	if want := 10 + st1.SpecialRounds; st1.CCSSent != want {
+		t.Fatalf("primary sent %d CCS messages, want %d (10 reads + %d special rounds)",
+			st1.CCSSent, want, st1.SpecialRounds)
+	}
+	for _, id := range []transport.NodeID{2, 3} {
+		if got := h.svcs[id].StatsSnapshot().CCSSent; got != 0 {
+			t.Fatalf("backup %v sent %d CCS messages", id, got)
+		}
+		// Backups observed the rounds and keep a current offset.
+		if h.svcs[id].StatsSnapshot().RoundsObserved == 0 {
+			t.Fatalf("backup %v observed no rounds", id)
+		}
+	}
+}
+
+func TestPassiveFailoverUsesBufferedCCS(t *testing.T) {
+	h, client := standardSetup(t, 6, replication.Passive)
+	replies := driveReads(t, h, client, 6)
+
+	// Kill the primary (node 1). Node 2 takes over and replays the log;
+	// rounds the old primary already ran must be satisfied from the buffer
+	// of delivered CCS messages (§3.3), not re-initiated.
+	h.stacks[1].Stop()
+	h.net.Endpoint(1).SetDown(true)
+
+	var after []uint64
+	done := 0
+	var invoke func()
+	invoke = func() {
+		client.Invoke("read", nil, func(r rpc.Reply) {
+			if r.Err != nil {
+				return
+			}
+			done++
+			after = append(after, binary.BigEndian.Uint64(r.Body))
+			if done < 6 {
+				invoke()
+			}
+		})
+	}
+	invoke()
+	if !h.runUntil(10*time.Second, func() bool { return done >= 6 }) {
+		t.Fatalf("only %d/6 reads completed after failover", done)
+	}
+
+	st := h.svcs[2].StatsSnapshot()
+	if st.FromBuffer == 0 {
+		t.Fatal("new primary did not consume buffered CCS messages during replay")
+	}
+	// Monotone across the failover: the first value after failover is not
+	// before the last value before it.
+	if after[0] < replies[len(replies)-1] {
+		t.Fatalf("clock rolled back across failover: %d then %d",
+			replies[len(replies)-1], after[0])
+	}
+	all := append(append([]uint64(nil), replies...), after...)
+	for i := 1; i < len(all); i++ {
+		if all[i] < all[i-1] {
+			t.Fatalf("non-monotone at %d: %d -> %d", i, all[i-1], all[i])
+		}
+	}
+}
+
+func TestSemiActiveAllExecuteOnlyPrimarySends(t *testing.T) {
+	h, client := standardSetup(t, 7, replication.SemiActive)
+	driveReads(t, h, client, 12)
+	h.k.RunFor(5 * time.Millisecond)
+
+	// All replicas executed and recorded identical values.
+	a, b, c := h.apps[1].readings, h.apps[2].readings, h.apps[3].readings
+	if len(a) != 12 || len(b) != 12 || len(c) != 12 {
+		t.Fatalf("readings: %d/%d/%d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i] != b[i] || b[i] != c[i] {
+			t.Fatalf("reading %d diverges: %v %v %v", i, a[i], b[i], c[i])
+		}
+	}
+	// Only the primary put CCS messages on the wire.
+	if got := h.svcs[1].StatsSnapshot().CCSSent; got == 0 {
+		t.Fatal("primary sent no CCS messages")
+	}
+	for _, id := range []transport.NodeID{2, 3} {
+		if got := h.svcs[id].StatsSnapshot().CCSSent; got != 0 {
+			t.Fatalf("semi-active backup %v sent %d CCS messages", id, got)
+		}
+	}
+}
+
+func TestClockOpGranularities(t *testing.T) {
+	h, client := standardSetup(t, 8, replication.Active)
+	var body []byte
+	client.Invoke("read-ops", nil, func(r rpc.Reply) { body = r.Body })
+	if !h.runUntil(5*time.Second, func() bool { return body != nil }) {
+		t.Fatal("no reply")
+	}
+	gtod := time.Duration(binary.BigEndian.Uint64(body[0:]))
+	ftime := time.Duration(binary.BigEndian.Uint64(body[8:]))
+	sec := time.Duration(binary.BigEndian.Uint64(body[16:]))
+	if gtod%time.Microsecond != 0 {
+		t.Fatalf("gettimeofday %v not µs-quantized", gtod)
+	}
+	if ftime%time.Millisecond != 0 {
+		t.Fatalf("ftime %v not ms-quantized", ftime)
+	}
+	if sec%time.Second != 0 {
+		t.Fatalf("time %v not s-quantized", sec)
+	}
+	if !(ftime <= gtod+time.Millisecond && sec <= ftime+time.Second) {
+		t.Fatalf("granularity ordering broken: %v %v %v", gtod, ftime, sec)
+	}
+}
+
+func TestRecoveringReplicaIntegratesNewClock(t *testing.T) {
+	h := newCoreHarness(t, 9)
+	ring := []transport.NodeID{0, 1, 2, 3}
+	for _, id := range ring {
+		h.addStack(id, ring, true)
+	}
+	h.addReplica(1, replication.Active, false, h.simClock(0, 0))
+	h.addReplica(2, replication.Active, false, h.simClock(3*time.Second, 0))
+	client := h.newClient(0)
+	for _, s := range h.stacks {
+		s.Start()
+	}
+	h.k.RunFor(3 * time.Millisecond)
+	before := driveReads(t, h, client, 8)
+
+	// Node 3 joins with a wildly different physical clock (+100s): the
+	// special round must initialize it so the group clock stays monotone.
+	h.addReplica(3, replication.Active, true, h.simClock(100*time.Second, 0))
+	ok := h.runUntil(10*time.Second, func() bool {
+		live := false
+		h.k.Post(func() { live = h.mgrs[3].Live() })
+		h.k.RunFor(50 * time.Microsecond)
+		return live
+	})
+	if !ok {
+		t.Fatal("recovering replica never went live")
+	}
+	if h.svcs[1].StatsSnapshot().SpecialRounds == 0 &&
+		h.svcs[2].StatsSnapshot().SpecialRounds == 0 {
+		t.Fatal("no special round was taken for the state transfer")
+	}
+
+	after := driveReads(t, h, client, 8)
+	// Monotone across the recovery, and far below the newcomer's raw clock.
+	if after[0] < before[len(before)-1] {
+		t.Fatalf("clock regressed across recovery: %d -> %d",
+			before[len(before)-1], after[0])
+	}
+	if time.Duration(after[0]) > 50*time.Second {
+		t.Fatalf("group clock jumped toward the newcomer's clock: %v",
+			time.Duration(after[0]))
+	}
+	// The newcomer executed the new reads and matches the others.
+	aN := h.apps[3].readings
+	aE := h.apps[1].readings
+	if len(aN) < 8 {
+		t.Fatalf("newcomer recorded %d readings", len(aN))
+	}
+	tail := aE[len(aE)-len(aN):]
+	for i := range aN {
+		if aN[i] != tail[i] {
+			t.Fatalf("newcomer reading %d = %v, existing = %v", i, aN[i], tail[i])
+		}
+	}
+}
+
+func TestDriftWithoutCompensationRunsSlow(t *testing.T) {
+	h, client := standardSetup(t, 10, replication.Active)
+	realStart := h.k.Now()
+	replies := driveReads(t, h, client, 30)
+	realSpan := h.k.Now() - realStart
+	groupSpan := time.Duration(replies[len(replies)-1] - replies[0])
+	// Figure 6(c): the group clock advances more slowly than real time
+	// because the winner's proposal is based on a physical reading taken
+	// before the round's ordering delay.
+	if groupSpan >= realSpan {
+		t.Fatalf("group clock advanced %v over %v of real time; should run slow",
+			groupSpan, realSpan)
+	}
+}
+
+func TestMeanDelayCompensationReducesDrift(t *testing.T) {
+	run := func(comp Compensation) time.Duration {
+		h := newCoreHarness(t, 11)
+		ring := []transport.NodeID{0, 1, 2, 3}
+		for _, id := range ring {
+			h.addStack(id, ring, true)
+		}
+		for _, id := range ring[1:] {
+			h.addReplica(id, replication.Active, false, h.simClock(0, 0),
+				func(c *Config) { c.Compensation = comp; c.MeanDelay = 150 * time.Microsecond })
+		}
+		client := h.newClient(0)
+		for _, s := range h.stacks {
+			s.Start()
+		}
+		h.k.RunFor(3 * time.Millisecond)
+		replies := driveReads(t, h, client, 30)
+		return h.k.Now() - time.Duration(replies[len(replies)-1]) // lag behind real time
+	}
+	lagNone := run(CompNone)
+	lagComp := run(CompMeanDelay)
+	if lagComp >= lagNone {
+		t.Fatalf("mean-delay compensation did not reduce drift: %v vs %v", lagComp, lagNone)
+	}
+}
+
+func TestExternalCompensationBoundsDrift(t *testing.T) {
+	h := newCoreHarness(t, 12)
+	ring := []transport.NodeID{0, 1, 2, 3}
+	for _, id := range ring {
+		h.addStack(id, ring, true)
+	}
+	ref := hwclock.NewSim(h.k.Now) // perfect external reference
+	for _, id := range ring[1:] {
+		h.addReplica(id, replication.Active, false, h.simClock(0, 0),
+			func(c *Config) {
+				c.Compensation = CompExternal
+				c.External = ref
+				c.ExternalGain = 0.5
+			})
+	}
+	client := h.newClient(0)
+	for _, s := range h.stacks {
+		s.Start()
+	}
+	h.k.RunFor(3 * time.Millisecond)
+	replies := driveReads(t, h, client, 40)
+	lag := h.k.Now() - time.Duration(replies[len(replies)-1])
+	if lag > 2*time.Millisecond {
+		t.Fatalf("externally nudged clock lags %v; should stay near real time", lag)
+	}
+	// Still consistent across replicas.
+	a, b := h.apps[1].readings, h.apps[2].readings
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("inconsistent under external compensation at %d", i)
+		}
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	s := &TimeService{
+		handlers:   map[uint64]*ccsHandler{1: {threadID: 1, round: 42}},
+		pendingRnd: map[uint64]uint64{7: 9},
+		special:    ccsHandler{round: 3},
+		lastGroup:  8 * time.Hour,
+	}
+	st, err := decodeState(s.encodeState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.specialRound != 3 || st.groupClock != 8*time.Hour {
+		t.Fatalf("state = %+v", st)
+	}
+	if st.threadRounds[1] != 42 || st.threadRounds[7] != 9 {
+		t.Fatalf("thread rounds = %v", st.threadRounds)
+	}
+	if _, err := decodeState([]byte{1, 2}); err == nil {
+		t.Fatal("short state accepted")
+	}
+	if _, err := decodeState(make([]byte, 21)); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := simnet.NewNetwork(k, nil)
+	s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(0),
+		RingMembers: []transport.NodeID{0}, Bootstrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := replication.New(replication.Config{Runtime: k, Stack: s,
+		Group: 1, App: &clockApp{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := hwclock.NewManual(0)
+	if _, err := New(Config{Clock: clk}); err == nil {
+		t.Fatal("missing manager accepted")
+	}
+	if _, err := New(Config{Manager: m}); err == nil {
+		t.Fatal("missing clock accepted")
+	}
+	if _, err := New(Config{Manager: m, Clock: clk, Compensation: CompExternal}); err == nil {
+		t.Fatal("CompExternal without reference accepted")
+	}
+	svc, err := New(Config{Manager: m, Clock: clk, Compensation: CompMeanDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.cfg.MeanDelay == 0 {
+		t.Fatal("MeanDelay default not applied")
+	}
+}
+
+func TestCompensationStrings(t *testing.T) {
+	for _, tc := range []struct {
+		c    Compensation
+		want string
+	}{{CompNone, "none"}, {CompMeanDelay, "mean-delay"}, {CompExternal, "external"},
+		{Compensation(9), "Compensation(9)"}} {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestDeterministicClockTraces(t *testing.T) {
+	run := func() []time.Duration {
+		h, client := standardSetup(t, 77, replication.Active)
+		driveReads(t, h, client, 15)
+		return h.apps[1].readings
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

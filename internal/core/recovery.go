@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"cts/internal/wire"
+)
+
+// This file implements "Integration of New Clocks" (§3.2): adding a replica
+// (equivalently, a clock) must not disturb the group clock's monotonicity.
+// When the GET_STATE synchronization point is reached, the existing replicas
+// take a special round of consistent clock synchronization immediately
+// before the checkpoint. The special round's CCS message is ordered and
+// delivered to all replicas including the recovering one, which does not
+// compete: it adopts the delivered group clock value and derives its offset
+// from its own physical clock at delivery time. The checkpoint additionally
+// carries the time service's round counters so that the recovering replica
+// replays subsequent clock operations against the buffered CCS stream.
+
+// pendingCapture queues checkpoint captures when a special round is already
+// in flight (two state transfers racing).
+type pendingCapture struct {
+	done func(extra []byte, groupClock int64)
+}
+
+// captureForCheckpoint is installed as the manager's checkpoint-capture
+// hook: it runs the special CCS round and then hands the manager the time
+// service's serialized state.
+func (s *TimeService) captureForCheckpoint(done func(extra []byte, groupClock int64)) {
+	if s.special.waiting != nil {
+		s.pendingCaptures = append(s.pendingCaptures, pendingCapture{done: done})
+		return
+	}
+	s.stats.SpecialRounds++
+	round := s.special.round + 1
+	physical := s.clock.Read()
+	local := physical + s.offset
+
+	finish := func(v any) {
+		grp, _ := v.(time.Duration)
+		done(s.encodeState(), int64(grp))
+		// Serve a queued capture, if any.
+		if len(s.pendingCaptures) > 0 {
+			next := s.pendingCaptures[0]
+			s.pendingCaptures = s.pendingCaptures[1:]
+			s.captureForCheckpoint(next.done)
+		}
+	}
+
+	if msg, ok := s.special.buffer[round]; ok {
+		// Another replica's special round for this transfer already
+		// completed; adopt it.
+		delete(s.special.buffer, round)
+		s.stats.FromBuffer++
+		s.finishRound(&s.special, round, physical, msg, true, finish)
+		return
+	}
+	pr := &pendingRead{round: round, physical: physical,
+		op: wire.OpGettimeofday, complete: finish}
+	if s.competes() {
+		pr.cancel = s.sendCCS(specialThreadID, round, local, wire.OpGettimeofday, true)
+	}
+	s.special.waiting = pr
+}
+
+// consumeSpecial advances the special round counter past rounds this
+// replica merely observed, so that the next locally initiated special round
+// uses a fresh number.
+func (s *TimeService) consumeSpecial() {
+	for {
+		if _, ok := s.special.buffer[s.special.round+1]; !ok {
+			return
+		}
+		s.special.round++
+		delete(s.special.buffer, s.special.round)
+	}
+}
+
+// restoreFromCheckpoint is installed as the manager's checkpoint-restore
+// hook. It aligns the round counters with the checkpoint (so a recovering
+// replica's replayed clock operations match the CCS messages it buffers)
+// and prunes buffers the counters have passed. Offsets are deliberately not
+// restored: the offset relates the group clock to the local physical clock
+// and is re-derived from delivered CCS messages (the special round at the
+// latest).
+func (s *TimeService) restoreFromCheckpoint(extra []byte) {
+	st, err := decodeState(extra)
+	if err != nil {
+		return
+	}
+	if st.specialRound > s.special.round {
+		s.special.round = st.specialRound
+	}
+	for r := range s.special.buffer {
+		if r <= s.special.round {
+			delete(s.special.buffer, r)
+		}
+	}
+	for tid, round := range st.threadRounds {
+		if h, ok := s.handlers[tid]; ok {
+			if round > h.round {
+				h.round = round
+			}
+			for r := range h.buffer {
+				if r <= h.round {
+					delete(h.buffer, r)
+				}
+			}
+			continue
+		}
+		if round > s.pendingRnd[tid] {
+			s.pendingRnd[tid] = round
+		}
+	}
+	// Prune the common input buffer of rounds covered by the checkpoint.
+	rest := s.common[:0]
+	for _, e := range s.common {
+		if e.round <= s.pendingRnd[e.threadID] {
+			continue
+		}
+		rest = append(rest, e)
+	}
+	s.common = rest
+}
+
+// ccsState is the time service's contribution to a checkpoint.
+type ccsState struct {
+	specialRound uint64
+	groupClock   time.Duration
+	threadRounds map[uint64]uint64
+}
+
+func (s *TimeService) encodeState() []byte {
+	tids := make([]uint64, 0, len(s.handlers)+len(s.pendingRnd))
+	rounds := make(map[uint64]uint64, len(s.handlers)+len(s.pendingRnd))
+	for tid, h := range s.handlers {
+		rounds[tid] = h.round
+		tids = append(tids, tid)
+	}
+	for tid, r := range s.pendingRnd {
+		if _, ok := rounds[tid]; !ok {
+			tids = append(tids, tid)
+		}
+		if r > rounds[tid] {
+			rounds[tid] = r
+		}
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	buf := make([]byte, 8+8+4+16*len(tids))
+	binary.BigEndian.PutUint64(buf[0:], s.special.round)
+	binary.BigEndian.PutUint64(buf[8:], uint64(s.lastGroup))
+	binary.BigEndian.PutUint32(buf[16:], uint32(len(tids)))
+	off := 20
+	for _, tid := range tids {
+		binary.BigEndian.PutUint64(buf[off:], tid)
+		binary.BigEndian.PutUint64(buf[off+8:], rounds[tid])
+		off += 16
+	}
+	return buf
+}
+
+func decodeState(b []byte) (ccsState, error) {
+	st := ccsState{threadRounds: make(map[uint64]uint64)}
+	if len(b) < 20 {
+		return st, wire.ErrShortMessage
+	}
+	st.specialRound = binary.BigEndian.Uint64(b[0:])
+	st.groupClock = time.Duration(binary.BigEndian.Uint64(b[8:]))
+	n := binary.BigEndian.Uint32(b[16:])
+	if len(b) != 20+16*int(n) {
+		return st, wire.ErrTruncated
+	}
+	off := 20
+	for i := uint32(0); i < n; i++ {
+		tid := binary.BigEndian.Uint64(b[off:])
+		st.threadRounds[tid] = binary.BigEndian.Uint64(b[off+8:])
+		off += 16
+	}
+	return st, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Deterministic group-time timers. One of the paper's motivations (§1) is
+// that timeout handling — timed remote invocations, two-phase commit,
+// transaction session management — is a source of replica non-determinism
+// when driven by physical clocks. A timer keyed to the GROUP clock fires at
+// the first group clock value at or past its deadline. Group clock values
+// are adopted at total-order delivery points, identical in sequence and
+// value at every replica, so every replica fires the same timers between the
+// same pair of rounds: the timeout decision is deterministic.
+
+// GroupTimer is a pending deterministic timer.
+type GroupTimer struct {
+	deadline  time.Duration
+	seq       uint64 // creation order, ties broken deterministically
+	fn        func(groupClock time.Duration)
+	fired     bool
+	cancelled bool
+}
+
+// Cancel prevents the timer from firing. It reports whether the timer was
+// still pending. Loop-only.
+func (t *GroupTimer) Cancel() bool {
+	if t.fired || t.cancelled {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+// AtGroupTime schedules fn to run when the group clock reaches deadline.
+// fn receives the group clock value that triggered it and runs on the
+// replica's event loop, at every replica, between the same two rounds.
+// Timers must be created from deterministic execution (an invocation or
+// another timer callback) so that the creation order — and hence the firing
+// order of timers sharing a deadline — agrees across replicas. Loop-only
+// (call through Ctx.Call or from delivery handlers).
+func (s *TimeService) AtGroupTime(deadline time.Duration, fn func(time.Duration)) *GroupTimer {
+	t := &GroupTimer{deadline: deadline, seq: s.timerSeq, fn: fn}
+	s.timerSeq++
+	s.timers = append(s.timers, t)
+	sort.SliceStable(s.timers, func(i, j int) bool {
+		if s.timers[i].deadline != s.timers[j].deadline {
+			return s.timers[i].deadline < s.timers[j].deadline
+		}
+		return s.timers[i].seq < s.timers[j].seq
+	})
+	// The deadline may already be in the past.
+	s.fireTimers()
+	return t
+}
+
+// fireTimers runs every pending timer whose deadline the group clock has
+// reached. Called after each group clock adoption (guardMonotone) — a
+// total-order point — and at timer creation.
+func (s *TimeService) fireTimers() {
+	if s.firing {
+		return // a timer callback is creating timers; the outer loop resumes
+	}
+	s.firing = true
+	defer func() { s.firing = false }()
+	for len(s.timers) > 0 {
+		t := s.timers[0]
+		if t.cancelled {
+			s.timers = s.timers[1:]
+			continue
+		}
+		if t.deadline > s.lastGroup {
+			return
+		}
+		s.timers = s.timers[1:]
+		t.fired = true
+		s.stats.TimersFired++
+		t.fn(s.lastGroup)
+	}
+}
+
+// PendingTimers reports the number of timers not yet fired or cancelled.
+// Loop-only.
+func (s *TimeService) PendingTimers() int {
+	n := 0
+	for _, t := range s.timers {
+		if !t.fired && !t.cancelled {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+// Package faultinject scripts failures against a simulated deployment:
+// crash and revival of processors, network partitions and heals, and loss
+// windows — the scenarios behind the paper's fault-tolerance claims
+// ("the consistent time service guarantees the consistency of the group
+// clock even when faults occur, when new replicas are added into the group
+// and when failed replicas recover").
+package faultinject
+
+import (
+	"time"
+
+	"cts/internal/sim"
+	"cts/internal/simnet"
+	"cts/internal/transport"
+)
+
+// Stoppable is anything that can be halted when its processor crashes
+// (totem nodes, gcs stacks).
+type Stoppable interface{ Stop() }
+
+// Injector schedules faults on a simulated network.
+type Injector struct {
+	k   *sim.Kernel
+	net *simnet.Network
+	// procs maps a node to the protocol entities to halt on crash.
+	procs map[transport.NodeID][]Stoppable
+}
+
+// New creates an injector.
+func New(k *sim.Kernel, net *simnet.Network) *Injector {
+	return &Injector{k: k, net: net, procs: make(map[transport.NodeID][]Stoppable)}
+}
+
+// Register associates protocol entities with a processor so CrashAt can
+// halt them along with the endpoint.
+func (i *Injector) Register(id transport.NodeID, s ...Stoppable) {
+	i.procs[id] = append(i.procs[id], s...)
+}
+
+// CrashAt schedules a crash of processor id at virtual time t: its endpoint
+// stops sending and receiving and its registered protocol entities halt
+// (fail-stop, per the paper's fault model).
+func (i *Injector) CrashAt(t time.Duration, id transport.NodeID) {
+	i.k.At(t, func() {
+		for _, s := range i.procs[id] {
+			s.Stop()
+		}
+		i.net.Endpoint(id).SetDown(true)
+	})
+}
+
+// ReviveAt schedules the endpoint's revival at virtual time t. The caller
+// is responsible for starting fresh protocol entities (a revived processor
+// has lost its volatile state).
+func (i *Injector) ReviveAt(t time.Duration, id transport.NodeID, start func()) {
+	i.k.At(t, func() {
+		i.net.Endpoint(id).SetDown(false)
+		if start != nil {
+			start()
+		}
+	})
+}
+
+// PartitionAt schedules a network partition into the given components.
+func (i *Injector) PartitionAt(t time.Duration, components ...[]transport.NodeID) {
+	i.k.At(t, func() { i.net.Partition(components...) })
+}
+
+// HealAt schedules removal of any partition.
+func (i *Injector) HealAt(t time.Duration) {
+	i.k.At(t, func() { i.net.Heal() })
+}
+
+// LossWindow applies datagram loss probability p during [from, to).
+func (i *Injector) LossWindow(from, to time.Duration, p float64) {
+	i.k.At(from, func() { i.net.SetLoss(p) })
+	i.k.At(to, func() { i.net.SetLoss(0) })
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"cts/internal/sim"
+	"cts/internal/simnet"
+	"cts/internal/transport"
+)
+
+type stopRecorder struct{ stopped bool }
+
+func (s *stopRecorder) Stop() { s.stopped = true }
+
+func TestCrashAtStopsEntitiesAndEndpoint(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	got := 0
+	b.SetReceiver(func(transport.NodeID, []byte) { got++ })
+
+	rec := &stopRecorder{}
+	inj.Register(1, rec)
+	inj.CrashAt(10*time.Millisecond, 1)
+
+	// Before the crash, traffic flows.
+	k.At(5*time.Millisecond, func() { a.Send(1, []byte("x")) })
+	// After the crash, it does not.
+	k.At(15*time.Millisecond, func() { a.Send(1, []byte("y")) })
+	k.RunUntil(20 * time.Millisecond)
+
+	if got != 1 {
+		t.Fatalf("delivered %d datagrams, want 1 (pre-crash only)", got)
+	}
+	if !rec.stopped {
+		t.Fatal("registered entity not stopped")
+	}
+}
+
+func TestReviveAtRestoresDeliveryAndRunsStart(t *testing.T) {
+	k := sim.NewKernel(2)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	got := 0
+	b.SetReceiver(func(transport.NodeID, []byte) { got++ })
+
+	inj.CrashAt(time.Millisecond, 1)
+	started := false
+	inj.ReviveAt(5*time.Millisecond, 1, func() { started = true })
+	k.At(7*time.Millisecond, func() { a.Send(1, []byte("z")) })
+	k.RunUntil(10 * time.Millisecond)
+
+	if !started {
+		t.Fatal("start callback did not run")
+	}
+	if got != 1 {
+		t.Fatalf("delivered %d datagrams after revival, want 1", got)
+	}
+}
+
+func TestPartitionAndHealSchedule(t *testing.T) {
+	k := sim.NewKernel(3)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	got := 0
+	b.SetReceiver(func(transport.NodeID, []byte) { got++ })
+
+	inj.PartitionAt(time.Millisecond, []transport.NodeID{0}, []transport.NodeID{1})
+	inj.HealAt(10 * time.Millisecond)
+	k.At(5*time.Millisecond, func() { a.Send(1, []byte("during")) })
+	k.At(12*time.Millisecond, func() { a.Send(1, []byte("after")) })
+	k.RunUntil(15 * time.Millisecond)
+
+	if got != 1 {
+		t.Fatalf("delivered %d datagrams, want 1 (post-heal only)", got)
+	}
+}
+
+func TestLossWindow(t *testing.T) {
+	k := sim.NewKernel(4)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	got := 0
+	b.SetReceiver(func(transport.NodeID, []byte) { got++ })
+
+	inj.LossWindow(time.Millisecond, 10*time.Millisecond, 1.0)
+	k.At(5*time.Millisecond, func() { a.Send(1, []byte("lost")) })
+	k.At(12*time.Millisecond, func() { a.Send(1, []byte("kept")) })
+	k.RunUntil(15 * time.Millisecond)
+
+	if got != 1 {
+		t.Fatalf("delivered %d datagrams, want 1 (outside the loss window)", got)
+	}
+}
+
+func TestRegisterMultipleEntities(t *testing.T) {
+	k := sim.NewKernel(5)
+	net := simnet.NewNetwork(k, nil)
+	inj := New(k, net)
+	r1, r2 := &stopRecorder{}, &stopRecorder{}
+	inj.Register(0, r1)
+	inj.Register(0, r2)
+	inj.CrashAt(time.Millisecond, 0)
+	k.RunUntil(2 * time.Millisecond)
+	if !r1.stopped || !r2.stopped {
+		t.Fatal("not all registered entities stopped")
+	}
+}

@@ -1,0 +1,406 @@
+// Package gcs is the group-communication layer between the Totem single-ring
+// protocol and the replication infrastructure. It multiplexes named process
+// groups over the ring's single total order: every fault-tolerant protocol
+// message (wire.Message) is delivered to the local members of its destination
+// group in the same order at every processor, and per-group membership views
+// track both which processors host group members and whether the component is
+// primary (§2 of the paper).
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"cts/internal/sim"
+	"cts/internal/totem"
+	"cts/internal/transport"
+	"cts/internal/wire"
+)
+
+// Meta describes the total-order position of a delivered message.
+type Meta struct {
+	TotalOrder uint64
+	Ring       totem.RingID
+	Seq        uint64
+	Sender     transport.NodeID
+}
+
+// GroupView is the membership of one group, derived from the ring view and
+// the group-announcement traffic, identical in content and order at every
+// processor of the component.
+type GroupView struct {
+	Group   wire.GroupID
+	Members []transport.NodeID // processors hosting members of the group
+	Ring    totem.RingID
+	Primary bool
+}
+
+// MessageHandler consumes a message delivered to a group in total order.
+// Handlers run on the stack's runtime loop and must not block.
+type MessageHandler func(wire.Message, Meta)
+
+// ViewHandler consumes group membership changes.
+type ViewHandler func(GroupView)
+
+// Config configures a Stack.
+type Config struct {
+	// Runtime and Transport as for totem.Config. Required.
+	Runtime   sim.Runtime
+	Transport transport.Transport
+	// RingMembers is the initial ring membership (all processors, whether or
+	// not they host members of any particular group).
+	RingMembers []transport.NodeID
+	// Bootstrap as for totem.Config.
+	Bootstrap bool
+	// Totem carries optional protocol tuning; its Runtime, Transport,
+	// Members, Bootstrap, Deliver and OnView fields are ignored.
+	Totem totem.Config
+}
+
+// envelope tags multiplexed over totem.
+const (
+	envApp      = 1 // wire.Message
+	envAnnounce = 2 // processor announces its locally joined groups
+)
+
+// Stack is one processor's group-communication endpoint.
+type Stack struct {
+	rt   sim.Runtime
+	node *totem.Node
+	me   transport.NodeID
+
+	groups map[wire.GroupID]*Group // locally joined groups
+
+	// membership[g][p] records that processor p hosts a member of group g.
+	membership map[wire.GroupID]map[transport.NodeID]bool
+	ringView   totem.View
+	lastViews  map[wire.GroupID]GroupView
+
+	// viewWatchers receive every group view change, joined or not (used by
+	// clients tracking a server group).
+	viewWatchers []ViewHandler
+	// msgWatchers observe every application message in total order.
+	msgWatchers []MessageHandler
+}
+
+// New creates a stack. Call Start to begin.
+func New(cfg Config) (*Stack, error) {
+	if cfg.Runtime == nil || cfg.Transport == nil {
+		return nil, errors.New("gcs: Runtime and Transport are required")
+	}
+	s := &Stack{
+		rt:         cfg.Runtime,
+		me:         cfg.Transport.LocalID(),
+		groups:     make(map[wire.GroupID]*Group),
+		membership: make(map[wire.GroupID]map[transport.NodeID]bool),
+		lastViews:  make(map[wire.GroupID]GroupView),
+	}
+	tc := cfg.Totem
+	tc.Runtime = cfg.Runtime
+	tc.Transport = cfg.Transport
+	tc.Members = cfg.RingMembers
+	tc.Bootstrap = cfg.Bootstrap
+	tc.Deliver = s.onDeliver
+	tc.OnView = s.onRingView
+	node, err := totem.New(tc)
+	if err != nil {
+		return nil, fmt.Errorf("gcs: %w", err)
+	}
+	s.node = node
+	return s, nil
+}
+
+// Start begins protocol activity.
+func (s *Stack) Start() { s.node.Start() }
+
+// Stop halts the stack.
+func (s *Stack) Stop() { s.node.Stop() }
+
+// Node exposes the underlying totem node (for statistics).
+func (s *Stack) Node() *totem.Node { return s.node }
+
+// LocalID reports the processor identity of this stack.
+func (s *Stack) LocalID() transport.NodeID { return s.me }
+
+// Group is a local group membership.
+type Group struct {
+	stack  *Stack
+	id     wire.GroupID
+	onMsg  MessageHandler
+	onView ViewHandler
+	left   bool
+}
+
+// Join registers the local processor as hosting a member of group id.
+// The join is announced through the total order, so every processor updates
+// the group's view at the same point in the message stream. Safe to call
+// from any goroutine.
+func (s *Stack) Join(id wire.GroupID, onMsg MessageHandler, onView ViewHandler) (*Group, error) {
+	if onMsg == nil {
+		return nil, errors.New("gcs: message handler is required")
+	}
+	g := &Group{stack: s, id: id, onMsg: onMsg, onView: onView}
+	s.rt.Post(func() {
+		s.groups[id] = g
+		s.announceLocal()
+	})
+	return g, nil
+}
+
+// Leave withdraws the local membership. Safe to call from any goroutine.
+func (g *Group) Leave() {
+	g.stack.rt.Post(func() {
+		if g.left {
+			return
+		}
+		g.left = true
+		delete(g.stack.groups, g.id)
+		g.stack.announceLocal()
+	})
+}
+
+// ID reports the group identifier.
+func (g *Group) ID() wire.GroupID { return g.id }
+
+// Multicast sends m through the total order to the members of m.DstGroup.
+func (g *Group) Multicast(m wire.Message) error { return g.stack.Multicast(m) }
+
+// Multicast sends a fault-tolerant protocol message through the total order.
+// The message is delivered, in the same order at every processor, to the
+// local members of m.DstGroup. The sender needs no membership in the
+// destination group (clients invoke server groups this way).
+func (s *Stack) Multicast(m wire.Message) error {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("gcs: multicast: %w", err)
+	}
+	env := make([]byte, 1+len(b))
+	env[0] = envApp
+	copy(env[1:], b)
+	return s.node.Broadcast(env)
+}
+
+// MulticastCancelable queues m like Multicast but returns a cancel function
+// reporting whether the message is guaranteed not to reach the wire — the
+// duplicate-suppression primitive used for CCS messages and replica replies.
+// Messages with identical headers (the paper's message identifier: source
+// group, destination group, connection, sequence number) share a logical
+// identity, and a queued message whose identity has already been received
+// from another replica is withdrawn automatically at the token visit.
+// When safe is true, delivery waits until every processor on the ring holds
+// the message. Must be called (and cancelled) on the runtime loop.
+func (s *Stack) MulticastCancelable(m wire.Message, safe bool) (func() bool, error) {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("gcs: multicast: %w", err)
+	}
+	env := make([]byte, 1+len(b))
+	env[0] = envApp
+	copy(env[1:], b)
+	return s.node.BroadcastCancelable(env, safe, messageIdentity(m.Header)), nil
+}
+
+// messageIdentity hashes the paper's message identifier fields (§3.1).
+func messageIdentity(h wire.Header) uint64 {
+	f := fnv.New64a()
+	var buf [21]byte
+	buf[0] = byte(h.Type)
+	put32 := func(off int, v uint32) {
+		buf[off] = byte(v >> 24)
+		buf[off+1] = byte(v >> 16)
+		buf[off+2] = byte(v >> 8)
+		buf[off+3] = byte(v)
+	}
+	put32(1, uint32(h.SrcGroup))
+	put32(5, uint32(h.DstGroup))
+	put32(9, uint32(h.Conn))
+	for i := 0; i < 8; i++ {
+		buf[13+i] = byte(h.Seq >> (56 - 8*i))
+	}
+	f.Write(buf[:])
+	v := f.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// WatchMessages registers a handler that observes every application message
+// in total order, regardless of destination group. The replication
+// infrastructure uses this to suppress duplicate replies: a replica watching
+// the stream sees another replica's identical reply and withdraws its own.
+// Safe to call from any goroutine.
+func (s *Stack) WatchMessages(h MessageHandler) {
+	s.rt.Post(func() {
+		s.msgWatchers = append(s.msgWatchers, h)
+	})
+}
+
+// WatchViews registers a handler for every group view change, whether or not
+// the local processor is a member. Safe to call from any goroutine.
+func (s *Stack) WatchViews(h ViewHandler) {
+	s.rt.Post(func() {
+		s.viewWatchers = append(s.viewWatchers, h)
+	})
+}
+
+// GroupMembers reports the processors hosting members of group id. Must be
+// called on the runtime loop.
+func (s *Stack) GroupMembers(id wire.GroupID) []transport.NodeID {
+	return s.groupMembers(id)
+}
+
+// announceLocal broadcasts this processor's full local group list. It is
+// idempotent: receivers replace their record of this processor's groups.
+func (s *Stack) announceLocal() {
+	gids := make([]wire.GroupID, 0, len(s.groups))
+	for id := range s.groups {
+		gids = append(gids, id)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	env := make([]byte, 1+4*len(gids))
+	env[0] = envAnnounce
+	for i, id := range gids {
+		putGroupID(env[1+4*i:], id)
+	}
+	_ = s.node.Broadcast(env)
+}
+
+func putGroupID(b []byte, id wire.GroupID) {
+	b[0] = byte(id >> 24)
+	b[1] = byte(id >> 16)
+	b[2] = byte(id >> 8)
+	b[3] = byte(id)
+}
+
+func getGroupID(b []byte) wire.GroupID {
+	return wire.GroupID(b[0])<<24 | wire.GroupID(b[1])<<16 |
+		wire.GroupID(b[2])<<8 | wire.GroupID(b[3])
+}
+
+// onRingView reacts to a totem membership change: group tables are pruned to
+// the new ring, local memberships are re-announced (newly merged processors
+// have no record of them), and updated group views are emitted.
+func (s *Stack) onRingView(v totem.View) {
+	s.ringView = v
+	inRing := make(map[transport.NodeID]bool, len(v.Members))
+	for _, id := range v.Members {
+		inRing[id] = true
+	}
+	for _, procs := range s.membership {
+		for p := range procs {
+			if !inRing[p] {
+				delete(procs, p)
+			}
+		}
+	}
+	// Local memberships survive the transition unconditionally.
+	for id := range s.groups {
+		s.noteMember(id, s.me)
+	}
+	s.announceLocal()
+	s.emitChangedViews()
+}
+
+func (s *Stack) noteMember(g wire.GroupID, p transport.NodeID) {
+	procs := s.membership[g]
+	if procs == nil {
+		procs = make(map[transport.NodeID]bool)
+		s.membership[g] = procs
+	}
+	procs[p] = true
+}
+
+// onDeliver handles one totally-ordered totem delivery.
+func (s *Stack) onDeliver(d totem.Delivery) {
+	if len(d.Payload) == 0 {
+		return
+	}
+	body := d.Payload[1:]
+	switch d.Payload[0] {
+	case envApp:
+		m, err := wire.Unmarshal(body)
+		if err != nil {
+			return
+		}
+		meta := Meta{TotalOrder: d.TotalOrder, Ring: d.Ring,
+			Seq: d.Seq, Sender: d.Sender}
+		for _, w := range s.msgWatchers {
+			w(m, meta)
+		}
+		g, ok := s.groups[m.DstGroup]
+		if !ok {
+			return
+		}
+		g.onMsg(m, meta)
+	case envAnnounce:
+		if len(body)%4 != 0 {
+			return
+		}
+		announced := make(map[wire.GroupID]bool, len(body)/4)
+		for off := 0; off+4 <= len(body); off += 4 {
+			announced[getGroupID(body[off:])] = true
+		}
+		// Replace the sender's group set.
+		for g, procs := range s.membership {
+			if procs[d.Sender] && !announced[g] {
+				delete(procs, d.Sender)
+			}
+		}
+		for g := range announced {
+			s.noteMember(g, d.Sender)
+		}
+		s.emitChangedViews()
+	}
+}
+
+// emitChangedViews delivers a GroupView for every group whose view content
+// changed since the last emission.
+func (s *Stack) emitChangedViews() {
+	gids := make([]wire.GroupID, 0, len(s.membership))
+	for g := range s.membership {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		members := s.groupMembers(gid)
+		view := GroupView{Group: gid, Members: members,
+			Ring: s.ringView.Ring, Primary: s.ringView.Primary}
+		last, seen := s.lastViews[gid]
+		if seen && viewsEqual(last, view) {
+			continue
+		}
+		s.lastViews[gid] = view
+		if g, ok := s.groups[gid]; ok && g.onView != nil {
+			g.onView(view)
+		}
+		for _, w := range s.viewWatchers {
+			w(view)
+		}
+	}
+}
+
+func (s *Stack) groupMembers(gid wire.GroupID) []transport.NodeID {
+	procs := s.membership[gid]
+	members := make([]transport.NodeID, 0, len(procs))
+	for p := range procs {
+		members = append(members, p)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+func viewsEqual(a, b GroupView) bool {
+	if a.Group != b.Group || a.Ring != b.Ring || a.Primary != b.Primary ||
+		len(a.Members) != len(b.Members) {
+		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			return false
+		}
+	}
+	return true
+}

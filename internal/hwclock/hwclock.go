@@ -1,0 +1,144 @@
+// Package hwclock models the physical hardware clocks that the consistent
+// time service renders deterministic. The paper's testbed reads µs-resolution
+// gettimeofday() values from per-machine oscillators that disagree in both
+// phase (offset) and rate (drift); SimClock reproduces exactly those two
+// imperfections on top of any time source, and SystemClock exposes the real
+// machine clock for production deployments.
+package hwclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a physical hardware clock. Read returns the clock's current value
+// as a duration since the clock's own epoch. Physical clocks of different
+// replicas generally disagree; making the disagreement invisible to the
+// application is the job of the consistent time service, not of this package.
+type Clock interface {
+	Read() time.Duration
+}
+
+// Source yields the underlying "true" time a simulated clock distorts. In
+// simulations this is the discrete-event kernel's virtual time.
+type Source func() time.Duration
+
+// SimClock derives a physical clock from a Source by applying an initial
+// phase offset, a constant rate error (drift), and quantization to the
+// clock's read granularity:
+//
+//	reading(t) = quantize(offset + t + drift·t)
+//
+// A SimClock is safe for concurrent use if its Source is.
+type SimClock struct {
+	source      Source
+	offset      time.Duration
+	driftPPM    float64
+	granularity time.Duration
+}
+
+// Option configures a SimClock.
+type Option func(*SimClock)
+
+// WithOffset sets the clock's initial phase offset from the source.
+func WithOffset(d time.Duration) Option {
+	return func(c *SimClock) { c.offset = d }
+}
+
+// WithDriftPPM sets the clock's rate error in parts per million. A clock
+// with drift +50 ppm gains 50 µs per second of true time.
+func WithDriftPPM(ppm float64) Option {
+	return func(c *SimClock) { c.driftPPM = ppm }
+}
+
+// WithGranularity sets the quantum readings are truncated to.
+// The default is one microsecond, matching gettimeofday().
+func WithGranularity(g time.Duration) Option {
+	return func(c *SimClock) {
+		if g > 0 {
+			c.granularity = g
+		}
+	}
+}
+
+// NewSim returns a simulated physical clock over source.
+func NewSim(source Source, opts ...Option) *SimClock {
+	c := &SimClock{
+		source:      source,
+		granularity: time.Microsecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Read implements Clock.
+func (c *SimClock) Read() time.Duration {
+	t := c.source()
+	v := c.offset + t + time.Duration(float64(t)*c.driftPPM/1e6)
+	return v - v%c.granularity
+}
+
+// DriftPPM reports the clock's configured rate error.
+func (c *SimClock) DriftPPM() float64 { return c.driftPPM }
+
+// Offset reports the clock's configured initial phase offset.
+func (c *SimClock) Offset() time.Duration { return c.offset }
+
+// String describes the clock's imperfections, for experiment logs.
+func (c *SimClock) String() string {
+	return fmt.Sprintf("simclock(offset=%v drift=%+gppm gran=%v)",
+		c.offset, c.driftPPM, c.granularity)
+}
+
+// SystemClock reads the machine's real clock, expressed as a duration since
+// the Unix epoch, truncated to microseconds like gettimeofday().
+type SystemClock struct{}
+
+// Read implements Clock.
+func (SystemClock) Read() time.Duration {
+	ns := time.Now().UnixNano()
+	return time.Duration(ns - ns%int64(time.Microsecond))
+}
+
+// ManualClock is a test clock whose value only changes when told to.
+// It is safe for concurrent use.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewManual returns a manual clock starting at start.
+func NewManual(start time.Duration) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Read implements Clock.
+func (c *ManualClock) Read() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set moves the clock to t. Manual clocks may be set backwards; the
+// consistent time service must tolerate (and mask) that.
+func (c *ManualClock) Set(t time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+}
+
+var (
+	_ Clock = (*SimClock)(nil)
+	_ Clock = SystemClock{}
+	_ Clock = (*ManualClock)(nil)
+)

@@ -1,0 +1,133 @@
+package hwclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fixedSource(t time.Duration) Source {
+	return func() time.Duration { return t }
+}
+
+func TestSimClockIdentityByDefault(t *testing.T) {
+	c := NewSim(fixedSource(5 * time.Second))
+	if got := c.Read(); got != 5*time.Second {
+		t.Fatalf("Read = %v, want 5s", got)
+	}
+}
+
+func TestSimClockOffset(t *testing.T) {
+	c := NewSim(fixedSource(time.Second), WithOffset(150*time.Millisecond))
+	if got := c.Read(); got != 1150*time.Millisecond {
+		t.Fatalf("Read = %v, want 1.15s", got)
+	}
+}
+
+func TestSimClockDrift(t *testing.T) {
+	// +100 ppm over 10 s of true time gains exactly 1 ms.
+	c := NewSim(fixedSource(10*time.Second), WithDriftPPM(100))
+	if got := c.Read(); got != 10*time.Second+time.Millisecond {
+		t.Fatalf("Read = %v, want 10.001s", got)
+	}
+}
+
+func TestSimClockNegativeDrift(t *testing.T) {
+	c := NewSim(fixedSource(10*time.Second), WithDriftPPM(-100))
+	if got := c.Read(); got != 10*time.Second-time.Millisecond {
+		t.Fatalf("Read = %v, want 9.999s", got)
+	}
+}
+
+func TestSimClockGranularity(t *testing.T) {
+	c := NewSim(fixedSource(1234567 * time.Nanosecond))
+	if got := c.Read(); got != 1234*time.Microsecond {
+		t.Fatalf("Read = %v, want truncation to 1234µs", got)
+	}
+	coarse := NewSim(fixedSource(1234567*time.Nanosecond), WithGranularity(time.Millisecond))
+	if got := coarse.Read(); got != time.Millisecond {
+		t.Fatalf("Read = %v, want truncation to 1ms", got)
+	}
+}
+
+func TestSimClockZeroGranularityIgnored(t *testing.T) {
+	c := NewSim(fixedSource(999*time.Nanosecond), WithGranularity(0))
+	if got := c.Read(); got != 0 {
+		t.Fatalf("Read = %v, want 0 (default µs granularity kept)", got)
+	}
+}
+
+func TestSimClockMonotoneWhenSourceMonotone(t *testing.T) {
+	var now time.Duration
+	c := NewSim(func() time.Duration { return now },
+		WithOffset(3*time.Millisecond), WithDriftPPM(250))
+	prev := c.Read()
+	for i := 0; i < 1000; i++ {
+		now += 17 * time.Microsecond
+		v := c.Read()
+		if v < prev {
+			t.Fatalf("clock regressed: %v -> %v at step %d", prev, v, i)
+		}
+		prev = v
+	}
+}
+
+// Property: two clocks over the same source with different offsets preserve
+// their offset difference at µs granularity (drift zero).
+func TestSimClockOffsetDifferenceProperty(t *testing.T) {
+	f := func(srcMicros uint32, offAMicros, offBMicros uint16) bool {
+		src := fixedSource(time.Duration(srcMicros) * time.Microsecond)
+		offA := time.Duration(offAMicros) * time.Microsecond
+		offB := time.Duration(offBMicros) * time.Microsecond
+		a := NewSim(src, WithOffset(offA))
+		b := NewSim(src, WithOffset(offB))
+		return a.Read()-b.Read() == offA-offB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemClockIsMicrosecondQuantized(t *testing.T) {
+	v := SystemClock{}.Read()
+	if v%time.Microsecond != 0 {
+		t.Fatalf("SystemClock reading %v not µs-quantized", v)
+	}
+	if v <= 0 {
+		t.Fatalf("SystemClock reading %v not positive", v)
+	}
+}
+
+func TestSystemClockAdvances(t *testing.T) {
+	a := SystemClock{}.Read()
+	time.Sleep(2 * time.Millisecond)
+	b := SystemClock{}.Read()
+	if b <= a {
+		t.Fatalf("system clock did not advance: %v then %v", a, b)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManual(time.Second)
+	if c.Read() != time.Second {
+		t.Fatalf("Read = %v, want 1s", c.Read())
+	}
+	c.Advance(500 * time.Millisecond)
+	if c.Read() != 1500*time.Millisecond {
+		t.Fatalf("Read = %v, want 1.5s", c.Read())
+	}
+	c.Set(time.Millisecond) // backwards is allowed
+	if c.Read() != time.Millisecond {
+		t.Fatalf("Read = %v, want 1ms", c.Read())
+	}
+}
+
+func TestSimClockAccessors(t *testing.T) {
+	c := NewSim(fixedSource(0), WithOffset(time.Millisecond), WithDriftPPM(42))
+	if c.Offset() != time.Millisecond || c.DriftPPM() != 42 {
+		t.Fatalf("accessors: offset=%v drift=%v", c.Offset(), c.DriftPPM())
+	}
+	if c.String() == "" {
+		t.Fatal("String() empty")
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kernel is a deterministic discrete-event simulation kernel. Events execute
+// in (time, insertion-order) sequence on the goroutine that calls Run,
+// RunUntil or Step. Given the same seed and the same sequence of scheduling
+// calls, a simulation replays identically.
+//
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	mu   sync.Mutex
+	now  time.Duration
+	q    eventQueue
+	seq  uint64
+	rng  *rand.Rand
+	halt bool
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() time.Duration {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
+
+// RNG returns the kernel's deterministic random source. It must only be used
+// from event callbacks (they run serially), never concurrently.
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// After schedules fn at Now()+d. A negative d is treated as zero.
+func (k *Kernel) After(d time.Duration, fn func()) Canceler {
+	if d < 0 {
+		d = 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.scheduleLocked(k.now+d, fn)
+}
+
+// At schedules fn at absolute virtual time t. Times in the past run at the
+// current time.
+func (k *Kernel) At(t time.Duration, fn func()) Canceler {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if t < k.now {
+		t = k.now
+	}
+	return k.scheduleLocked(t, fn)
+}
+
+// Post schedules fn at the current virtual time, after events already
+// scheduled for that time.
+func (k *Kernel) Post(fn func()) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.scheduleLocked(k.now, fn)
+}
+
+func (k *Kernel) scheduleLocked(t time.Duration, fn func()) *event {
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.q, ev)
+	return ev
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	k.mu.Lock()
+	for k.q.Len() > 0 {
+		ev := heap.Pop(&k.q).(*event)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.done = true
+		fn := ev.fn
+		ev.fn = nil
+		k.mu.Unlock()
+		fn()
+		return true
+	}
+	k.mu.Unlock()
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (k *Kernel) Run() {
+	for !k.halted() && k.Step() {
+	}
+	k.setHalt(false)
+}
+
+// RunUntil executes events with timestamps <= t, then advances virtual time
+// to exactly t.
+func (k *Kernel) RunUntil(t time.Duration) {
+	for {
+		k.mu.Lock()
+		if k.halt || k.q.Len() == 0 || k.q[0].at > t {
+			if k.now < t && !k.halt {
+				k.now = t
+			}
+			k.halt = false
+			k.mu.Unlock()
+			return
+		}
+		k.mu.Unlock()
+		k.Step()
+	}
+}
+
+// RunFor executes events for virtual duration d from the current time.
+func (k *Kernel) RunFor(d time.Duration) {
+	k.RunUntil(k.Now() + d)
+}
+
+// Halt stops a Run/RunUntil in progress after the current event completes.
+// It is intended to be called from within an event callback.
+func (k *Kernel) Halt() { k.setHalt(true) }
+
+func (k *Kernel) setHalt(v bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.halt = v
+}
+
+func (k *Kernel) halted() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.halt
+}
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet discarded).
+func (k *Kernel) Pending() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.q.Len()
+}
+
+// event is a scheduled callback; it implements Canceler.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	done      bool
+}
+
+// Cancel implements Canceler. It is not safe for concurrent use with the
+// kernel loop from other goroutines; call it from event callbacks.
+func (e *event) Cancel() bool {
+	if e.done || e.cancelled {
+		return false
+	}
+	e.cancelled = true
+	e.fn = nil
+	return true
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

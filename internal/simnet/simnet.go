@@ -1,0 +1,282 @@
+// Package simnet is a discrete-event simulated network calibrated to the
+// paper's testbed: four PCs on switched 100 Mb/s Ethernet whose measured
+// token-passing time peaks near 51 µs. Latency, loss, partitions and node
+// crashes are all injectable, and every run is deterministic given the
+// kernel's seed.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cts/internal/sim"
+	"cts/internal/transport"
+)
+
+// LatencyModel computes the one-way delay of a datagram. Implementations may
+// draw from rng (the kernel's deterministic source).
+type LatencyModel func(rng *rand.Rand, from, to transport.NodeID, size int) time.Duration
+
+// Ethernet returns the default latency model, calibrated so that a
+// token-sized datagram (~100 bytes) takes ≈48–60 µs one way: a fixed
+// protocol-stack cost plus a per-byte serialization cost at 100 Mb/s
+// (0.08 µs/byte) plus an exponential jitter tail, reproducing the shape of
+// the paper's measured token-passing distribution (peak ≈51 µs with rare
+// long-latency outliers).
+func Ethernet() LatencyModel {
+	const (
+		stackCost   = 40 * time.Microsecond
+		perByte     = 80 * time.Nanosecond // 100 Mb/s = 12.5 B/µs
+		jitterMean  = 5 * time.Microsecond
+		spikeProb   = 0.002 // rare scheduling spikes (paper: "data points with long latency, albeit with very low probability")
+		spikeExtra  = 400 * time.Microsecond
+		spikeJitter = 200 * time.Microsecond
+	)
+	return func(rng *rand.Rand, _, _ transport.NodeID, size int) time.Duration {
+		d := stackCost + time.Duration(size)*perByte +
+			time.Duration(rng.ExpFloat64()*float64(jitterMean))
+		if rng.Float64() < spikeProb {
+			d += spikeExtra + time.Duration(rng.Float64()*float64(spikeJitter))
+		}
+		return d
+	}
+}
+
+// Fixed returns a latency model with constant delay d, useful in unit tests.
+func Fixed(d time.Duration) LatencyModel {
+	return func(*rand.Rand, transport.NodeID, transport.NodeID, int) time.Duration { return d }
+}
+
+// Network is the simulated fabric connecting endpoints.
+// All methods are intended to be called from kernel event callbacks or
+// before the simulation starts.
+type Network struct {
+	k       *sim.Kernel
+	latency LatencyModel
+
+	mu        sync.Mutex
+	endpoints map[transport.NodeID]*Endpoint
+	loss      float64
+	partition map[transport.NodeID]int // node -> partition component; empty = fully connected
+
+	// lastArrival enforces FIFO per (src,dst) link: datagrams sent
+	// back-to-back on one path do not reorder, as on a switched LAN.
+	lastArrival map[linkKey]time.Duration
+
+	// Counters for experiment reporting.
+	sent      map[transport.NodeID]uint64
+	delivered map[transport.NodeID]uint64
+	dropped   uint64
+}
+
+type linkKey struct{ src, dst transport.NodeID }
+
+// NewNetwork creates a network driven by kernel k. If latency is nil the
+// Ethernet model is used.
+func NewNetwork(k *sim.Kernel, latency LatencyModel) *Network {
+	if latency == nil {
+		latency = Ethernet()
+	}
+	return &Network{
+		k:           k,
+		latency:     latency,
+		endpoints:   make(map[transport.NodeID]*Endpoint),
+		partition:   make(map[transport.NodeID]int),
+		lastArrival: make(map[linkKey]time.Duration),
+		sent:        make(map[transport.NodeID]uint64),
+		delivered:   make(map[transport.NodeID]uint64),
+	}
+}
+
+// ErrClosed is returned by sends on a closed or crashed endpoint.
+var ErrClosed = errors.New("simnet: endpoint closed")
+
+// Endpoint attaches (or returns the existing) endpoint for id.
+func (n *Network) Endpoint(id transport.NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &Endpoint{net: n, id: id}
+	n.endpoints[id] = ep
+	return ep
+}
+
+// SetLoss sets the independent per-datagram loss probability.
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case p < 0:
+		n.loss = 0
+	case p > 1:
+		n.loss = 1
+	default:
+		n.loss = p
+	}
+}
+
+// Partition splits the network into components; datagrams flow only within a
+// component. Nodes not named in any component form one extra implicit
+// component together.
+func (n *Network) Partition(components ...[]transport.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[transport.NodeID]int)
+	for i, comp := range components {
+		for _, id := range comp {
+			n.partition[id] = i + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[transport.NodeID]int)
+}
+
+func (n *Network) connected(a, b transport.NodeID) bool {
+	if len(n.partition) == 0 {
+		return true
+	}
+	return n.partition[a] == n.partition[b]
+}
+
+// Stats reports per-node sent/delivered datagram counts and the total
+// dropped count (loss + partition + down endpoints).
+func (n *Network) Stats() (sent, delivered map[transport.NodeID]uint64, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := make(map[transport.NodeID]uint64, len(n.sent))
+	for k, v := range n.sent {
+		s[k] = v
+	}
+	d := make(map[transport.NodeID]uint64, len(n.delivered))
+	for k, v := range n.delivered {
+		d[k] = v
+	}
+	return s, d, n.dropped
+}
+
+// send queues delivery of payload from src to dst, applying loss, partition
+// and latency. Caller holds no lock.
+func (n *Network) send(src, dst transport.NodeID, payload []byte) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[dst]
+	if !ok || ep.down || !n.connected(src, dst) || (n.loss > 0 && n.k.RNG().Float64() < n.loss) {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	n.sent[src]++
+	delay := n.latency(n.k.RNG(), src, dst, len(payload))
+	// FIFO per link: a datagram never overtakes an earlier one on the same
+	// (src,dst) path.
+	key := linkKey{src: src, dst: dst}
+	arrival := n.k.Now() + delay
+	if last := n.lastArrival[key]; arrival <= last {
+		arrival = last + time.Nanosecond
+		delay = arrival - n.k.Now()
+	}
+	n.lastArrival[key] = arrival
+	// Copy: the sender may reuse its buffer immediately.
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	n.mu.Unlock()
+
+	n.k.After(delay, func() {
+		n.mu.Lock()
+		ep, ok := n.endpoints[dst]
+		if !ok || ep.down || !n.connected(src, dst) {
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		recv := ep.recv
+		n.delivered[dst]++
+		n.mu.Unlock()
+		if recv != nil {
+			recv(src, data)
+		}
+	})
+}
+
+// Endpoint is one node's attachment to the network; it implements
+// transport.Transport.
+type Endpoint struct {
+	net  *Network
+	id   transport.NodeID
+	recv transport.Receiver
+	down bool
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// LocalID implements transport.Transport.
+func (e *Endpoint) LocalID() transport.NodeID { return e.id }
+
+// SetReceiver implements transport.Transport.
+func (e *Endpoint) SetReceiver(r transport.Receiver) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.recv = r
+}
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
+	e.net.mu.Lock()
+	down := e.down
+	e.net.mu.Unlock()
+	if down {
+		return fmt.Errorf("%w: %v", ErrClosed, e.id)
+	}
+	e.net.send(e.id, to, payload)
+	return nil
+}
+
+// Broadcast implements transport.Transport.
+func (e *Endpoint) Broadcast(payload []byte) error {
+	e.net.mu.Lock()
+	if e.down {
+		e.net.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrClosed, e.id)
+	}
+	ids := make([]transport.NodeID, 0, len(e.net.endpoints))
+	for id := range e.net.endpoints {
+		if id != e.id {
+			ids = append(ids, id)
+		}
+	}
+	e.net.mu.Unlock()
+	// Deterministic fan-out order.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		e.net.send(e.id, id, payload)
+	}
+	return nil
+}
+
+// SetDown crashes (true) or revives (false) the endpoint. A down endpoint
+// neither sends nor receives; in-flight datagrams addressed to it are
+// dropped at delivery time.
+func (e *Endpoint) SetDown(down bool) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.down = down
+}
+
+// Close implements transport.Transport; a closed endpoint behaves as down.
+func (e *Endpoint) Close() error {
+	e.SetDown(true)
+	return nil
+}

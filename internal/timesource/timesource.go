@@ -1,0 +1,89 @@
+// Package timesource models the external time references of §3.3: NTP or
+// GPS-disciplined clocks "that might have a transient skew from real time
+// but that ha[ve] no drift". A Reference reads the underlying true time plus
+// a bounded random-walk skew — each reading wanders a little, but the error
+// never accumulates, which is exactly the property the aggressive
+// drift-compensation strategy relies on.
+package timesource
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"cts/internal/hwclock"
+)
+
+// Reference is an external time source: transient bounded skew, zero drift.
+// It implements hwclock.Clock and is safe for concurrent use if its source
+// is.
+type Reference struct {
+	mu      sync.Mutex
+	source  hwclock.Source
+	rng     *rand.Rand
+	maxSkew time.Duration
+	step    time.Duration
+	skew    time.Duration
+}
+
+// Option configures a Reference.
+type Option func(*Reference)
+
+// WithMaxSkew bounds the transient skew (default ±500µs, a typical NTP
+// error over a LAN).
+func WithMaxSkew(d time.Duration) Option {
+	return func(r *Reference) {
+		if d > 0 {
+			r.maxSkew = d
+		}
+	}
+}
+
+// WithStep sets the per-reading random-walk step bound (default 50µs).
+func WithStep(d time.Duration) Option {
+	return func(r *Reference) {
+		if d > 0 {
+			r.step = d
+		}
+	}
+}
+
+// New creates a reference over the true time source, seeded deterministically.
+func New(source hwclock.Source, seed int64, opts ...Option) *Reference {
+	r := &Reference{
+		source:  source,
+		rng:     rand.New(rand.NewSource(seed)),
+		maxSkew: 500 * time.Microsecond,
+		step:    50 * time.Microsecond,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+var _ hwclock.Clock = (*Reference)(nil)
+
+// Read implements hwclock.Clock: truth plus the current transient skew.
+// Each reading advances the bounded random walk.
+func (r *Reference) Read() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Symmetric step in [-step, +step].
+	delta := time.Duration(r.rng.Int63n(int64(2*r.step)+1)) - r.step
+	r.skew += delta
+	if r.skew > r.maxSkew {
+		r.skew = r.maxSkew
+	}
+	if r.skew < -r.maxSkew {
+		r.skew = -r.maxSkew
+	}
+	return r.source() + r.skew
+}
+
+// Skew reports the current transient skew (for tests).
+func (r *Reference) Skew() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.skew
+}

@@ -1,0 +1,98 @@
+package timesource
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fixedSource(t time.Duration) func() time.Duration {
+	return func() time.Duration { return t }
+}
+
+func TestSkewBounded(t *testing.T) {
+	r := New(fixedSource(time.Hour), 1,
+		WithMaxSkew(200*time.Microsecond), WithStep(80*time.Microsecond))
+	for i := 0; i < 10000; i++ {
+		v := r.Read()
+		skew := v - time.Hour
+		if skew > 200*time.Microsecond || skew < -200*time.Microsecond {
+			t.Fatalf("skew %v exceeds bound at read %d", skew, i)
+		}
+	}
+}
+
+func TestSkewIsTransientNotDrift(t *testing.T) {
+	// Over many reads of an advancing source, the average error stays near
+	// zero relative to the elapsed span: no accumulation.
+	var now time.Duration
+	r := New(func() time.Duration { return now }, 2, WithMaxSkew(500*time.Microsecond))
+	const n = 5000
+	var sumErr time.Duration
+	for i := 0; i < n; i++ {
+		now += time.Millisecond
+		sumErr += r.Read() - now
+	}
+	meanErr := sumErr / n
+	if meanErr > 500*time.Microsecond || meanErr < -500*time.Microsecond {
+		t.Fatalf("mean error %v exceeds the skew bound: looks like drift", meanErr)
+	}
+}
+
+func TestSkewActuallyWanders(t *testing.T) {
+	r := New(fixedSource(0), 3)
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		seen[r.Read()] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("skew produced only %d distinct values; not a random walk", len(seen))
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	read := func(seed int64) []time.Duration {
+		r := New(fixedSource(0), seed)
+		out := make([]time.Duration, 50)
+		for i := range out {
+			out[i] = r.Read()
+		}
+		return out
+	}
+	a, b := read(7), read(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at %d", i)
+		}
+	}
+}
+
+func TestSkewAccessor(t *testing.T) {
+	r := New(fixedSource(time.Second), 4)
+	v := r.Read()
+	if got := time.Second + r.Skew(); got != v {
+		t.Fatalf("Skew() inconsistent: reading %v, source+skew %v", v, got)
+	}
+}
+
+func TestOptionsIgnoreNonPositive(t *testing.T) {
+	r := New(fixedSource(0), 5, WithMaxSkew(-1), WithStep(0))
+	if r.maxSkew != 500*time.Microsecond || r.step != 50*time.Microsecond {
+		t.Fatalf("defaults overridden by non-positive options: %v %v", r.maxSkew, r.step)
+	}
+}
+
+func TestSkewBoundProperty(t *testing.T) {
+	f := func(seed int64, reads uint8) bool {
+		r := New(fixedSource(0), seed, WithMaxSkew(time.Millisecond))
+		for i := 0; i < int(reads); i++ {
+			if v := r.Read(); v > time.Millisecond || v < -time.Millisecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,14 @@
+package transport
+
+import "testing"
+
+func TestNodeIDString(t *testing.T) {
+	for _, tc := range []struct {
+		id   NodeID
+		want string
+	}{{0, "P0"}, {3, "P3"}, {42, "P42"}} {
+		if got := tc.id.String(); got != tc.want {
+			t.Errorf("NodeID(%d).String() = %q, want %q", tc.id, got, tc.want)
+		}
+	}
+}

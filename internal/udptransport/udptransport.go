@@ -1,0 +1,181 @@
+// Package udptransport implements transport.Transport over real UDP sockets
+// using only the net stdlib. It is the deployment transport used by
+// cmd/ctsnode and cmd/ctsclient; each datagram is framed with the sender's
+// NodeID so receivers learn the logical source without reverse address
+// lookups.
+package udptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"cts/internal/transport"
+)
+
+const (
+	frameHeaderLen = 4        // big-endian sender NodeID
+	maxDatagram    = 64 << 10 // read buffer size
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("udptransport: closed")
+
+// ErrUnknownPeer is returned when sending to a node with no registered address.
+var ErrUnknownPeer = errors.New("udptransport: unknown peer")
+
+// Transport is a UDP-backed transport endpoint.
+type Transport struct {
+	id   transport.NodeID
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	peers  map[transport.NodeID]*net.UDPAddr
+	recv   transport.Receiver
+	closed bool
+
+	done chan struct{}
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New binds a UDP socket on bindAddr (e.g. "127.0.0.1:0") for node id and
+// starts the receive loop. Peer addresses are registered with SetPeer.
+func New(id transport.NodeID, bindAddr string) (*Transport, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: resolve %q: %w", bindAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: listen %q: %w", bindAddr, err)
+	}
+	tr := &Transport{
+		id:    id,
+		conn:  conn,
+		peers: make(map[transport.NodeID]*net.UDPAddr),
+		done:  make(chan struct{}),
+	}
+	go tr.readLoop()
+	return tr, nil
+}
+
+// LocalID implements transport.Transport.
+func (t *Transport) LocalID() transport.NodeID { return t.id }
+
+// LocalAddr reports the bound socket address (useful when binding port 0).
+func (t *Transport) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// SetPeer registers (or updates) the address of a peer node.
+func (t *Transport) SetPeer(id transport.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udptransport: resolve peer %v %q: %w", id, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = ua
+	return nil
+}
+
+// SetReceiver implements transport.Transport. The receiver is invoked
+// serially from the transport's read goroutine; the payload is only valid
+// for the duration of the call.
+func (t *Transport) SetReceiver(r transport.Receiver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = r
+}
+
+// Send implements transport.Transport.
+func (t *Transport) Send(to transport.NodeID, payload []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownPeer, to)
+	}
+	return t.writeTo(addr, payload)
+}
+
+// Broadcast implements transport.Transport.
+func (t *Transport) Broadcast(payload []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	type dest struct {
+		id   transport.NodeID
+		addr *net.UDPAddr
+	}
+	dests := make([]dest, 0, len(t.peers))
+	for id, addr := range t.peers {
+		if id != t.id {
+			dests = append(dests, dest{id, addr})
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(dests, func(i, j int) bool { return dests[i].id < dests[j].id })
+	var firstErr error
+	for _, d := range dests {
+		if err := t.writeTo(d.addr, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (t *Transport) writeTo(addr *net.UDPAddr, payload []byte) error {
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(t.id))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := t.conn.WriteToUDP(frame, addr); err != nil {
+		return fmt.Errorf("udptransport: send to %v: %w", addr, err)
+	}
+	return nil
+}
+
+// Close implements transport.Transport. It stops the read loop and waits for
+// it to exit.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		<-t.done
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.done
+	return err
+}
+
+func (t *Transport) readLoop() {
+	defer close(t.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed (or fatally broken) socket ends the loop
+		}
+		if n < frameHeaderLen {
+			continue // runt frame
+		}
+		from := transport.NodeID(binary.BigEndian.Uint32(buf))
+		t.mu.Lock()
+		recv := t.recv
+		t.mu.Unlock()
+		if recv != nil {
+			recv(from, buf[frameHeaderLen:n])
+		}
+	}
+}

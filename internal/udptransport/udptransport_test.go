@@ -1,0 +1,205 @@
+package udptransport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cts/internal/transport"
+)
+
+// newPair builds n transports on loopback with full peer meshes.
+func newMesh(t *testing.T, n int) []*Transport {
+	t.Helper()
+	trs := make([]*Transport, n)
+	for i := 0; i < n; i++ {
+		tr, err := New(transport.NodeID(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		trs[i] = tr
+	}
+	for i, a := range trs {
+		for j, b := range trs {
+			if i == j {
+				continue
+			}
+			if err := a.SetPeer(transport.NodeID(j), b.LocalAddr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return trs
+}
+
+type collector struct {
+	mu   sync.Mutex
+	from []transport.NodeID
+	data []string
+	ch   chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan struct{}, 1024)}
+}
+
+func (c *collector) receiver(from transport.NodeID, payload []byte) {
+	c.mu.Lock()
+	c.from = append(c.from, from)
+	c.data = append(c.data, string(payload))
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collector) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for datagram %d/%d", i+1, n)
+		}
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	trs := newMesh(t, 2)
+	c := newCollector()
+	trs[1].SetReceiver(c.receiver)
+	if err := trs[0].Send(1, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.from[0] != 0 || c.data[0] != "ping" {
+		t.Fatalf("got from=%v data=%q", c.from[0], c.data[0])
+	}
+}
+
+func TestBroadcastReachesAllPeers(t *testing.T) {
+	trs := newMesh(t, 4)
+	cols := make([]*collector, 4)
+	for i, tr := range trs {
+		cols[i] = newCollector()
+		tr.SetReceiver(cols[i].receiver)
+	}
+	if err := trs[2].Broadcast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			continue
+		}
+		cols[i].wait(t, 1)
+		cols[i].mu.Lock()
+		if cols[i].from[0] != 2 || cols[i].data[0] != "hello" {
+			t.Fatalf("node %d: got from=%v data=%q", i, cols[i].from[0], cols[i].data[0])
+		}
+		cols[i].mu.Unlock()
+	}
+	// Sender must not hear itself.
+	select {
+	case <-cols[2].ch:
+		t.Fatal("sender received its own broadcast")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	tr, err := New(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(9, []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	tr, err := New(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send err = %v, want ErrClosed", err)
+	}
+	if err := tr.Broadcast([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Broadcast err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	tr, err := New(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestManyDatagramsArriveSerially(t *testing.T) {
+	trs := newMesh(t, 2)
+	c := newCollector()
+	trs[1].SetReceiver(c.receiver)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := trs[0].Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// UDP on loopback rarely drops, but tolerate a little loss to avoid
+	// flakes: require at least 90% delivery.
+	deadline := time.After(5 * time.Second)
+	got := 0
+	for got < n*9/10 {
+		select {
+		case <-c.ch:
+			got++
+		case <-deadline:
+			t.Fatalf("only %d/%d datagrams arrived", got, n)
+		}
+	}
+}
+
+func TestBadBindAddr(t *testing.T) {
+	if _, err := New(0, "not an address"); err == nil {
+		t.Fatal("expected error for bad bind address")
+	}
+}
+
+func TestBadPeerAddr(t *testing.T) {
+	tr, err := New(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.SetPeer(1, "bogus::::"); err == nil {
+		t.Fatal("expected error for bad peer address")
+	}
+}
+
+func TestLocalIDAndAddr(t *testing.T) {
+	tr, err := New(5, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.LocalID() != 5 {
+		t.Fatalf("LocalID = %v, want 5", tr.LocalID())
+	}
+	if tr.LocalAddr() == "" {
+		t.Fatal("LocalAddr empty")
+	}
+}

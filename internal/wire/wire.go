@@ -1,0 +1,380 @@
+// Package wire defines the fault-tolerant protocol messages exchanged above
+// the group-communication layer, following §3.1 of the paper: every message
+// carries a common header (msg_type, src_grp_id, dst_grp_id, conn_id,
+// msg_seq_num) followed by a type-specific payload. For a CCS message the
+// msg_seq_num field carries the CCS round number, and the payload carries the
+// sending thread identifier and the local clock value proposed for the group
+// clock (§4.1 adds a clock-operation type identifier so that gettimeofday,
+// time and ftime variants are distinguished).
+//
+// Encoding is explicit big-endian binary (encoding/binary); marshal followed
+// by unmarshal is the identity on every message type, a property the tests
+// verify exhaustively.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// MsgType identifies the kind of a fault-tolerant protocol message.
+type MsgType uint8
+
+// Message types. CCS is the control message of the consistent clock
+// synchronization algorithm; the remainder implement remote invocation and
+// state transfer on the replication infrastructure.
+const (
+	TypeCCS MsgType = iota + 1
+	TypeRequest
+	TypeReply
+	TypeGetState
+	TypeCheckpoint
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeCCS:
+		return "CCS"
+	case TypeRequest:
+		return "REQUEST"
+	case TypeReply:
+		return "REPLY"
+	case TypeGetState:
+		return "GET_STATE"
+	case TypeCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// GroupID identifies a replica group.
+type GroupID uint32
+
+// ConnID identifies a connection established between a source group and a
+// destination group.
+type ConnID uint32
+
+// ClockOp identifies which interposed clock-related system call produced a
+// CCS round (§4.1: "for each such system call, we assign a unique type
+// identifier").
+type ClockOp uint8
+
+// Interposed clock operations.
+const (
+	OpGettimeofday ClockOp = iota + 1 // µs-resolution wall clock
+	OpTime                            // second-resolution wall clock
+	OpFtime                           // ms-resolution wall clock
+)
+
+// String implements fmt.Stringer.
+func (op ClockOp) String() string {
+	switch op {
+	case OpGettimeofday:
+		return "gettimeofday"
+	case OpTime:
+		return "time"
+	case OpFtime:
+		return "ftime"
+	default:
+		return fmt.Sprintf("ClockOp(%d)", uint8(op))
+	}
+}
+
+// Granularity returns the quantum the operation's result is truncated to.
+func (op ClockOp) Granularity() time.Duration {
+	switch op {
+	case OpTime:
+		return time.Second
+	case OpFtime:
+		return time.Millisecond
+	default:
+		return time.Microsecond
+	}
+}
+
+// Header is the common fault-tolerant protocol message header (§3.1). For a
+// regular user message, (SrcGroup, DstGroup, Conn) identify a connection and
+// Seq a message within it; together they form the message identifier. For a
+// CCS message Seq carries the round number and SrcGroup == DstGroup.
+type Header struct {
+	Type     MsgType
+	SrcGroup GroupID
+	DstGroup GroupID
+	Conn     ConnID
+	Seq      uint64
+}
+
+// Message is a header plus an opaque, type-specific payload.
+type Message struct {
+	Header
+	Payload []byte
+}
+
+const (
+	magic         = 0xC7
+	version       = 1
+	headerLen     = 2 + 1 + 4 + 4 + 4 + 8 + 4 // magic+ver, type, src, dst, conn, seq, paylen
+	maxPayloadLen = 1 << 24
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrShortMessage = errors.New("wire: message too short")
+	ErrBadMagic     = errors.New("wire: bad magic byte")
+	ErrBadVersion   = errors.New("wire: unsupported version")
+	ErrTruncated    = errors.New("wire: truncated payload")
+	ErrOversize     = errors.New("wire: payload exceeds maximum size")
+)
+
+// Marshal encodes m.
+func Marshal(m Message) ([]byte, error) {
+	if len(m.Payload) > maxPayloadLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, len(m.Payload))
+	}
+	buf := make([]byte, headerLen+len(m.Payload))
+	buf[0] = magic
+	buf[1] = version
+	buf[2] = byte(m.Type)
+	binary.BigEndian.PutUint32(buf[3:], uint32(m.SrcGroup))
+	binary.BigEndian.PutUint32(buf[7:], uint32(m.DstGroup))
+	binary.BigEndian.PutUint32(buf[11:], uint32(m.Conn))
+	binary.BigEndian.PutUint64(buf[15:], m.Seq)
+	binary.BigEndian.PutUint32(buf[23:], uint32(len(m.Payload)))
+	copy(buf[headerLen:], m.Payload)
+	return buf, nil
+}
+
+// Unmarshal decodes a message produced by Marshal. The returned payload
+// aliases b.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < headerLen {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrShortMessage, len(b))
+	}
+	if b[0] != magic {
+		return Message{}, ErrBadMagic
+	}
+	if b[1] != version {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+	}
+	m := Message{Header: Header{
+		Type:     MsgType(b[2]),
+		SrcGroup: GroupID(binary.BigEndian.Uint32(b[3:])),
+		DstGroup: GroupID(binary.BigEndian.Uint32(b[7:])),
+		Conn:     ConnID(binary.BigEndian.Uint32(b[11:])),
+		Seq:      binary.BigEndian.Uint64(b[15:]),
+	}}
+	plen := binary.BigEndian.Uint32(b[23:])
+	if plen > maxPayloadLen {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrOversize, plen)
+	}
+	if len(b) != headerLen+int(plen) {
+		return Message{}, fmt.Errorf("%w: header says %d, have %d",
+			ErrTruncated, plen, len(b)-headerLen)
+	}
+	if plen > 0 {
+		m.Payload = b[headerLen : headerLen+plen]
+	}
+	return m, nil
+}
+
+// CCSPayload is the payload of a Consistent Clock Synchronization message
+// (§3.1): the sending thread identifier and the local clock value being
+// proposed for the group clock, plus the clock-op type (§4.1) and a flag
+// marking the special round taken during state transfer (§3.2).
+type CCSPayload struct {
+	ThreadID uint64
+	Proposed time.Duration // local physical clock + offset at the sender
+	Op       ClockOp
+	Special  bool // special round ordered with a GET_STATE checkpoint
+}
+
+const ccsPayloadLen = 8 + 8 + 1 + 1
+
+// MarshalCCS encodes p.
+func MarshalCCS(p CCSPayload) []byte {
+	buf := make([]byte, ccsPayloadLen)
+	binary.BigEndian.PutUint64(buf[0:], p.ThreadID)
+	binary.BigEndian.PutUint64(buf[8:], uint64(p.Proposed))
+	buf[16] = byte(p.Op)
+	if p.Special {
+		buf[17] = 1
+	}
+	return buf
+}
+
+// UnmarshalCCS decodes a CCS payload.
+func UnmarshalCCS(b []byte) (CCSPayload, error) {
+	if len(b) != ccsPayloadLen {
+		return CCSPayload{}, fmt.Errorf("%w: CCS payload %d bytes, want %d",
+			ErrTruncated, len(b), ccsPayloadLen)
+	}
+	return CCSPayload{
+		ThreadID: binary.BigEndian.Uint64(b[0:]),
+		Proposed: time.Duration(binary.BigEndian.Uint64(b[8:])),
+		Op:       ClockOp(b[16]),
+		Special:  b[17] == 1,
+	}, nil
+}
+
+// RequestPayload is a remote method invocation carried to a server group.
+// Timestamp, when non-zero, carries a consistent group clock value the
+// request causally depends on (§5 of the paper: "includes the value of the
+// consistent group clock as a timestamp in the user messages multicast to
+// the different groups"); the receiving group's clock is advanced past it
+// before the request executes.
+type RequestPayload struct {
+	InvocationID uint64
+	ClientNode   uint32 // transport identity of the caller, for the reply
+	Timestamp    time.Duration
+	Method       string
+	Body         []byte
+}
+
+// MarshalRequest encodes p.
+func MarshalRequest(p RequestPayload) ([]byte, error) {
+	if len(p.Method) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: method name %d bytes exceeds %d",
+			len(p.Method), math.MaxUint16)
+	}
+	if len(p.Body) > maxPayloadLen {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrOversize, len(p.Body))
+	}
+	buf := make([]byte, 8+4+8+2+len(p.Method)+4+len(p.Body))
+	binary.BigEndian.PutUint64(buf[0:], p.InvocationID)
+	binary.BigEndian.PutUint32(buf[8:], p.ClientNode)
+	binary.BigEndian.PutUint64(buf[12:], uint64(p.Timestamp))
+	binary.BigEndian.PutUint16(buf[20:], uint16(len(p.Method)))
+	off := 22 + copy(buf[22:], p.Method)
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(p.Body)))
+	copy(buf[off+4:], p.Body)
+	return buf, nil
+}
+
+// UnmarshalRequest decodes a request payload.
+func UnmarshalRequest(b []byte) (RequestPayload, error) {
+	if len(b) < 22 {
+		return RequestPayload{}, fmt.Errorf("%w: request %d bytes", ErrShortMessage, len(b))
+	}
+	p := RequestPayload{
+		InvocationID: binary.BigEndian.Uint64(b[0:]),
+		ClientNode:   binary.BigEndian.Uint32(b[8:]),
+		Timestamp:    time.Duration(binary.BigEndian.Uint64(b[12:])),
+	}
+	mlen := int(binary.BigEndian.Uint16(b[20:]))
+	if len(b) < 22+mlen+4 {
+		return RequestPayload{}, fmt.Errorf("%w: request method", ErrTruncated)
+	}
+	p.Method = string(b[22 : 22+mlen])
+	off := 22 + mlen
+	blen := binary.BigEndian.Uint32(b[off:])
+	if blen > maxPayloadLen {
+		return RequestPayload{}, fmt.Errorf("%w: body %d bytes", ErrOversize, blen)
+	}
+	if len(b) != off+4+int(blen) {
+		return RequestPayload{}, fmt.Errorf("%w: request body", ErrTruncated)
+	}
+	if blen > 0 {
+		p.Body = b[off+4 : off+4+int(blen)]
+	}
+	return p, nil
+}
+
+// ReplyPayload is the server group's reply to an invocation. ReplicaNode
+// identifies which replica produced this (possibly duplicate-suppressed)
+// reply, for diagnostics. Timestamp carries the serving group's consistent
+// group clock, so callers can propagate causal dependencies to other groups
+// (§5 of the paper).
+type ReplyPayload struct {
+	InvocationID uint64
+	ReplicaNode  uint32
+	Timestamp    time.Duration
+	Body         []byte
+}
+
+// MarshalReply encodes p.
+func MarshalReply(p ReplyPayload) ([]byte, error) {
+	if len(p.Body) > maxPayloadLen {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrOversize, len(p.Body))
+	}
+	buf := make([]byte, 8+4+8+4+len(p.Body))
+	binary.BigEndian.PutUint64(buf[0:], p.InvocationID)
+	binary.BigEndian.PutUint32(buf[8:], p.ReplicaNode)
+	binary.BigEndian.PutUint64(buf[12:], uint64(p.Timestamp))
+	binary.BigEndian.PutUint32(buf[20:], uint32(len(p.Body)))
+	copy(buf[24:], p.Body)
+	return buf, nil
+}
+
+// UnmarshalReply decodes a reply payload.
+func UnmarshalReply(b []byte) (ReplyPayload, error) {
+	if len(b) < 24 {
+		return ReplyPayload{}, fmt.Errorf("%w: reply %d bytes", ErrShortMessage, len(b))
+	}
+	p := ReplyPayload{
+		InvocationID: binary.BigEndian.Uint64(b[0:]),
+		ReplicaNode:  binary.BigEndian.Uint32(b[8:]),
+		Timestamp:    time.Duration(binary.BigEndian.Uint64(b[12:])),
+	}
+	blen := binary.BigEndian.Uint32(b[20:])
+	if blen > maxPayloadLen {
+		return ReplyPayload{}, fmt.Errorf("%w: body %d bytes", ErrOversize, blen)
+	}
+	if len(b) != 24+int(blen) {
+		return ReplyPayload{}, fmt.Errorf("%w: reply body", ErrTruncated)
+	}
+	if blen > 0 {
+		p.Body = b[24:]
+	}
+	return p, nil
+}
+
+// CheckpointPayload carries the state transferred to a recovering replica
+// (§3.2): the application state captured at the GET_STATE synchronization
+// point, together with the replication infrastructure's own state — the
+// group-clock value decided by the special CCS round taken immediately
+// before the checkpoint and the round number it decided.
+type CheckpointPayload struct {
+	Round      uint64
+	GroupClock time.Duration
+	AppState   []byte
+}
+
+// MarshalCheckpoint encodes p.
+func MarshalCheckpoint(p CheckpointPayload) ([]byte, error) {
+	if len(p.AppState) > maxPayloadLen {
+		return nil, fmt.Errorf("%w: state %d bytes", ErrOversize, len(p.AppState))
+	}
+	buf := make([]byte, 8+8+4+len(p.AppState))
+	binary.BigEndian.PutUint64(buf[0:], p.Round)
+	binary.BigEndian.PutUint64(buf[8:], uint64(p.GroupClock))
+	binary.BigEndian.PutUint32(buf[16:], uint32(len(p.AppState)))
+	copy(buf[20:], p.AppState)
+	return buf, nil
+}
+
+// UnmarshalCheckpoint decodes a checkpoint payload.
+func UnmarshalCheckpoint(b []byte) (CheckpointPayload, error) {
+	if len(b) < 20 {
+		return CheckpointPayload{}, fmt.Errorf("%w: checkpoint %d bytes", ErrShortMessage, len(b))
+	}
+	p := CheckpointPayload{
+		Round:      binary.BigEndian.Uint64(b[0:]),
+		GroupClock: time.Duration(binary.BigEndian.Uint64(b[8:])),
+	}
+	slen := binary.BigEndian.Uint32(b[16:])
+	if slen > maxPayloadLen {
+		return CheckpointPayload{}, fmt.Errorf("%w: state %d bytes", ErrOversize, slen)
+	}
+	if len(b) != 20+int(slen) {
+		return CheckpointPayload{}, fmt.Errorf("%w: checkpoint state", ErrTruncated)
+	}
+	if slen > 0 {
+		p.AppState = b[20:]
+	}
+	return p, nil
+}
