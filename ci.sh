@@ -1,0 +1,25 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, race-enabled tests. Same steps as
+# `make check`, runnable where make is absent.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI checks passed."

@@ -17,26 +17,79 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
+	"cts"
 	"cts/internal/experiment"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (fig1|fig5|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
-		seed = flag.Int64("seed", 2003, "simulation seed")
-		full = flag.Bool("full", false, "run at the paper's full sizes (10,000 invocations)")
+		exp   = flag.String("exp", "all", "experiment to run (fig1|fig5|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
+		seed  = flag.Int64("seed", 2003, "simulation seed")
+		full  = flag.Bool("full", false, "run at the paper's full sizes (10,000 invocations)")
+		trace = flag.String("trace", "fig5.trace.jsonl", "write the fig5 CCS round trace to this file as JSON lines (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *seed, *full); err != nil {
+	if err := run(*exp, *seed, *full, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, full bool) error {
+// withSummary appends an observability summary to an experiment's rendering.
+type withSummary struct {
+	inner interface{ Render() string }
+	extra string
+}
+
+func (w withSummary) Render() string { return w.inner.Render() + w.extra }
+
+// metricsSummary renders the gathered stack-wide counters, aggregated across
+// nodes, sorted by name.
+func metricsSummary(samples []cts.Sample) string {
+	m := cts.SampleMap(samples)
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("\nstack metrics (summed across nodes):\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-28s %d\n", name, m[name])
+	}
+	return b.String()
+}
+
+// runFig5Traced runs Figure 5 with the observability layer on, exporting the
+// round trace as JSON lines and appending a metrics summary to the result.
+func runFig5Traced(seed int64, invocations int, traceFile string) (interface{ Render() string }, error) {
+	f, err := os.Create(traceFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sink, err := cts.NewJSONLinesSink(f)
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiment.RunFigure5Traced(seed, invocations, sink)
+	if err != nil {
+		return nil, err
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, fmt.Errorf("flush trace: %w", err)
+	}
+	extra := metricsSummary(res.Metrics) +
+		fmt.Sprintf("trace: %d events -> %s\n", sink.Count(), traceFile)
+	return withSummary{inner: res, extra: extra}, nil
+}
+
+func run(exp string, seed int64, full bool, trace string) error {
 	invocations := 1000
 	ops := 1000
 	if full {
@@ -53,7 +106,10 @@ func run(exp string, seed int64, full bool) error {
 			return experiment.RunFigure1(seed, min(ops, 2000))
 		}},
 		{"fig5", func() (interface{ Render() string }, error) {
-			return experiment.RunFigure5(seed, invocations)
+			if trace == "" {
+				return experiment.RunFigure5(seed, invocations)
+			}
+			return runFig5Traced(seed, invocations, trace)
 		}},
 		{"fig6", func() (interface{ Render() string }, error) {
 			return experiment.RunFigure6(seed, ops, 20)

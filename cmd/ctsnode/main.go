@@ -12,41 +12,37 @@
 //
 // The -peers list names every processor in the ring (clients included).
 // Flags -style (active|passive|semiactive) and -recover (join an existing
-// group via state transfer) select the replication behavior.
+// group via state transfer) select the replication behavior. Observability:
+// -v logs structured round/view lines, -trace FILE exports the CCS round
+// trace as JSON lines, and -metrics D dumps the stack-wide counters every D.
 package main
 
 import (
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"cts/internal/core"
-	"cts/internal/gcs"
-	"cts/internal/hwclock"
-	"cts/internal/replication"
+	"cts"
 	"cts/internal/sim"
 	"cts/internal/transport"
 	"cts/internal/udptransport"
-	"cts/internal/wire"
 )
-
-const serverGroup wire.GroupID = 100
 
 func main() {
 	var (
-		id      = flag.Uint("id", 1, "this processor's node id")
-		peers   = flag.String("peers", "", "comma-separated id=host:port list for every ring member")
-		style   = flag.String("style", "active", "replication style: active|passive|semiactive")
-		recover = flag.Bool("recover", false, "join an existing group via state transfer")
-		verbose = flag.Bool("v", false, "log rounds and views")
+		id        = flag.Uint("id", 1, "this processor's node id")
+		peers     = flag.String("peers", "", "comma-separated id=host:port list for every ring member")
+		style     = flag.String("style", "active", "replication style: active|passive|semiactive")
+		recover   = flag.Bool("recover", false, "join an existing group via state transfer")
+		verbose   = flag.Bool("v", false, "log rounds and views as structured key=value lines")
+		traceFile = flag.String("trace", "", "write the CCS round trace to this file as JSON lines")
+		metrics   = flag.Duration("metrics", 0, "dump stack-wide metrics at this interval (0 disables)")
 	)
 	flag.Parse()
-	if err := run(uint32(*id), *peers, *style, *recover, *verbose); err != nil {
+	if err := run(uint32(*id), *peers, *style, *recover, *verbose, *traceFile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsnode:", err)
 		os.Exit(1)
 	}
@@ -78,38 +74,20 @@ func parsePeers(s string) (map[transport.NodeID]string, error) {
 	return out, nil
 }
 
-func parseStyle(s string) (replication.Style, error) {
+func parseStyle(s string) (cts.Style, error) {
 	switch s {
 	case "active":
-		return replication.Active, nil
+		return cts.Active, nil
 	case "passive":
-		return replication.Passive, nil
+		return cts.Passive, nil
 	case "semiactive":
-		return replication.SemiActive, nil
+		return cts.SemiActive, nil
 	default:
 		return 0, fmt.Errorf("unknown style %q", s)
 	}
 }
 
-// timeApp is the replicated server: CurrentTime returns the group clock.
-type timeApp struct {
-	svc *core.TimeService
-}
-
-func (a *timeApp) Invoke(ctx *replication.Ctx, method string, body []byte) []byte {
-	switch method {
-	case "CurrentTime":
-		v := a.svc.Gettimeofday(ctx)
-		out := make([]byte, 8)
-		binary.BigEndian.PutUint64(out, uint64(v))
-		return out
-	}
-	return nil
-}
-func (a *timeApp) Snapshot() []byte { return nil }
-func (a *timeApp) Restore([]byte)   {}
-
-func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool) error {
+func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool, traceFile string, metricsEvery time.Duration) error {
 	peers, err := parsePeers(peerSpec)
 	if err != nil {
 		return err
@@ -138,61 +116,94 @@ func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool) error 
 		}
 	}
 
+	logger, err := cts.NewLogger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	var sink cts.TraceSink
+	var jsink *cts.JSONLinesSink
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsink, err = cts.NewJSONLinesSink(f)
+		if err != nil {
+			return err
+		}
+		sink = jsink
+	}
+	rec, err := cts.NewRecorder(id, sink)
+	if err != nil {
+		return err
+	}
+
 	loop := sim.NewLoop()
 	defer loop.Close()
-	stack, err := gcs.New(gcs.Config{
-		Runtime:     loop,
-		Transport:   tr,
-		RingMembers: ring,
-		Bootstrap:   !recovering,
-	})
-	if err != nil {
-		return err
-	}
-	defer stack.Stop()
 
-	app := &timeApp{}
-	mgr, err := replication.New(replication.Config{
-		Runtime:    loop,
-		Stack:      stack,
-		Group:      serverGroup,
-		Style:      style,
-		App:        app,
-		Recovering: recovering,
-		OnStatus: func(st replication.Status) {
-			if verbose {
-				log.Printf("status: style=%v primary=%v inPrimary=%v live=%v members=%v",
-					st.Style, st.Primary, st.InPrimary, st.Live, st.Members)
-			}
-		},
-	})
-	if err != nil {
-		return err
+	opts := []cts.Option{
+		cts.WithRuntime(loop),
+		cts.WithTransport(tr),
+		cts.WithRingMembers(ring),
+		cts.WithStyle(style),
+		cts.WithRecovering(recovering),
+		cts.WithObservability(rec),
 	}
-	ccfg := core.Config{Manager: mgr, Clock: hwclock.SystemClock{}}
 	if verbose {
-		ccfg.OnRound = func(r core.RoundReport) {
-			log.Printf("round %d: group=%v offset=%v winner=%v",
-				r.Round, r.GroupClock, r.Offset, r.Winner)
-		}
+		opts = append(opts,
+			cts.WithOnStatus(func(st cts.Status) {
+				logger.Log("status",
+					cts.F("style", st.Style),
+					cts.F("primary", st.Primary),
+					cts.F("in_primary", st.InPrimary),
+					cts.F("live", st.Live),
+					cts.F("members", st.Members))
+			}),
+			cts.WithOnRound(func(r cts.RoundReport) {
+				logger.Log("round",
+					cts.F("round", r.Round),
+					cts.F("group", r.GroupClock),
+					cts.F("offset", r.Offset),
+					cts.F("winner", r.Winner))
+			}),
+		)
 	}
-	svc, err := core.New(ccfg)
+	svc, err := cts.New(opts...)
 	if err != nil {
 		return err
 	}
-	app.svc = svc
-	if err := mgr.Start(); err != nil {
+	defer svc.Stop()
+	if err := svc.Start(); err != nil {
 		return err
 	}
-	stack.Start()
-	log.Printf("ctsnode %d up (style %v, %d ring members, group %d)",
-		id, style, len(ring), serverGroup)
+	logger.Log("up",
+		cts.F("node", id),
+		cts.F("style", style),
+		cts.F("ring", len(ring)),
+		cts.F("group", cts.DefaultGroup))
+
+	if metricsEvery > 0 {
+		var dump func()
+		dump = func() {
+			svc.DumpMetrics(os.Stderr)
+			loop.After(metricsEvery, dump)
+		}
+		loop.After(metricsEvery, dump)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("ctsnode %d shutting down", id)
+	logger.Log("shutdown", cts.F("node", id))
 	// Give in-flight traffic a moment to drain before the deferred stops.
 	time.Sleep(100 * time.Millisecond)
+	if jsink != nil {
+		loop.Post(func() { svc.DumpMetrics(os.Stderr) })
+		time.Sleep(10 * time.Millisecond)
+		if err := jsink.Flush(); err != nil {
+			return fmt.Errorf("flush trace: %w", err)
+		}
+	}
 	return nil
 }

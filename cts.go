@@ -1,0 +1,400 @@
+// Package cts is the public facade of the consistent time service — the
+// supported API for embedding the paper's CCS algorithm (Design and
+// Implementation of a Consistent Time Service for Fault-Tolerant Distributed
+// Systems, DSN 2003) in an application.
+//
+// A Service bundles a replication manager and a consistent time service on
+// top of a group-communication stack. The caller supplies an event loop and
+// either a ready gcs stack (WithStack) or a transport plus ring membership
+// (WithTransport, WithRingMembers) from which the facade builds one:
+//
+//	svc, err := cts.New(
+//		cts.WithRuntime(loop),
+//		cts.WithTransport(tr),
+//		cts.WithRingMembers(ring),
+//	)
+//	...
+//	err = svc.Start()
+//
+// Clock readings go through Service.Clock (or Gettimeofday/Time/Ftime)
+// bound to a logical thread Ctx inside the replicated application.
+// Observability — the CCS round trace and the stack-wide metrics registry —
+// hangs off Service.Observability.
+package cts
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"cts/internal/core"
+	"cts/internal/gcs"
+	"cts/internal/hwclock"
+	"cts/internal/obs"
+	"cts/internal/replication"
+	"cts/internal/sim"
+	"cts/internal/transport"
+	"cts/internal/wire"
+)
+
+// DefaultGroup is the server group identifier used when WithGroup is not
+// given (the experiment deployments' ServerGroup).
+const DefaultGroup wire.GroupID = 100
+
+// Re-exported types, so applications embed the service without importing
+// internal packages.
+type (
+	// Ctx is a logical thread context inside the replicated application.
+	Ctx = replication.Ctx
+	// Application is the replicated state machine interface.
+	Application = replication.Application
+	// Style selects the replication style.
+	Style = replication.Style
+	// Status mirrors the replica's role.
+	Status = replication.Status
+	// RoundReport describes one completed CCS round.
+	RoundReport = core.RoundReport
+	// Compensation selects the drift-compensation strategy (§3.3).
+	Compensation = core.Compensation
+	// Clock is the interposition facade bound to a logical thread.
+	Clock = core.Clock
+	// HardwareClock is a physical clock source.
+	HardwareClock = hwclock.Clock
+	// GroupID identifies a process group.
+	GroupID = wire.GroupID
+	// NodeID identifies a processor on the ring.
+	NodeID = transport.NodeID
+	// Runtime is the event loop abstraction the stack runs on.
+	Runtime = sim.Runtime
+
+	// Recorder is the observability handle: round traces, counters,
+	// histograms. A nil *Recorder is valid and fully disabled.
+	Recorder = obs.Recorder
+	// TraceSink consumes trace events.
+	TraceSink = obs.TraceSink
+	// Event is one structured trace event.
+	Event = obs.Event
+	// Sample is one gathered metric value.
+	Sample = obs.Sample
+	// Logger writes structured key=value lines.
+	Logger = obs.Logger
+	// JSONLinesSink exports trace events as JSON lines.
+	JSONLinesSink = obs.JSONLinesSink
+	// MemorySink retains trace events in memory.
+	MemorySink = obs.MemorySink
+	// KV is one structured logging field.
+	KV = obs.KV
+)
+
+// F builds a structured logging field.
+func F(k string, v any) KV { return obs.F(k, v) }
+
+// MultiSink fans trace events out to every given sink.
+func MultiSink(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks...) }
+
+// SampleMap aggregates gathered samples by metric name, summing across nodes.
+func SampleMap(samples []Sample) map[string]uint64 { return obs.SampleMap(samples) }
+
+// Replication styles.
+const (
+	Active     = replication.Active
+	Passive    = replication.Passive
+	SemiActive = replication.SemiActive
+)
+
+// Drift-compensation strategies.
+const (
+	CompNone      = core.CompNone
+	CompMeanDelay = core.CompMeanDelay
+	CompExternal  = core.CompExternal
+)
+
+// NewRecorder creates an observability recorder stamping events with the
+// given node identity. sink may be nil for metrics without tracing.
+func NewRecorder(node uint32, sink TraceSink) (*Recorder, error) {
+	return obs.New(obs.Config{Node: node, Sink: sink})
+}
+
+// NewLogger creates a structured key=value logger writing to w.
+func NewLogger(w io.Writer) (*Logger, error) { return obs.NewLogger(w) }
+
+// NewJSONLinesSink creates a trace sink writing one JSON event per line.
+func NewJSONLinesSink(w io.Writer) (*JSONLinesSink, error) { return obs.NewJSONLinesSink(w) }
+
+// NewMemorySink creates a trace sink retaining events in memory; limit <= 0
+// retains everything.
+func NewMemorySink(limit int) *MemorySink { return obs.NewMemorySink(limit) }
+
+// DecodeJSONLines parses a JSON-lines trace back into events.
+func DecodeJSONLines(r io.Reader) ([]Event, error) { return obs.DecodeJSONLines(r) }
+
+// options collects the configuration assembled by the functional options.
+type options struct {
+	runtime    sim.Runtime
+	stack      *gcs.Stack
+	transport  transport.Transport
+	ring       []transport.NodeID
+	bootstrap  bool
+	bootSet    bool
+	group      wire.GroupID
+	style      replication.Style
+	app        replication.Application
+	clock      hwclock.Clock
+	recovering bool
+	ckptEvery  int
+	onStatus   func(Status)
+
+	compensation core.Compensation
+	meanDelay    time.Duration
+	external     hwclock.Clock
+	externalGain float64
+	agreedCCS    bool
+	onRound      func(RoundReport)
+
+	obs *obs.Recorder
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithRuntime sets the event loop the service runs on (sim.NewLoop for real
+// deployments, a simulation kernel for tests). Required.
+func WithRuntime(rt Runtime) Option { return func(o *options) { o.runtime = rt } }
+
+// WithStack uses an existing group-communication stack. The caller keeps
+// ownership: Start/Stop of the stack stay with the caller.
+func WithStack(s *gcs.Stack) Option { return func(o *options) { o.stack = s } }
+
+// WithTransport sets the datagram transport from which the facade builds its
+// own stack (ignored when WithStack is given). The built stack is started
+// and stopped by the Service.
+func WithTransport(tr transport.Transport) Option { return func(o *options) { o.transport = tr } }
+
+// WithRingMembers sets the initial ring membership for a facade-built stack.
+func WithRingMembers(ring []NodeID) Option {
+	return func(o *options) { o.ring = append([]NodeID(nil), ring...) }
+}
+
+// WithBootstrap selects whether a facade-built stack forms the initial ring
+// directly (default: bootstrap unless WithRecovering(true)).
+func WithBootstrap(b bool) Option { return func(o *options) { o.bootstrap = b; o.bootSet = true } }
+
+// WithGroup sets the server group identifier. Default DefaultGroup.
+func WithGroup(g GroupID) Option { return func(o *options) { o.group = g } }
+
+// WithStyle sets the replication style. Default Active.
+func WithStyle(s Style) Option { return func(o *options) { o.style = s } }
+
+// WithApplication sets the replicated state machine. Default: a built-in
+// application answering "CurrentTime" with the group clock as a big-endian
+// uint64 nanosecond count.
+func WithApplication(app Application) Option { return func(o *options) { o.app = app } }
+
+// WithClock sets the physical hardware clock. Default the system clock.
+func WithClock(c HardwareClock) Option { return func(o *options) { o.clock = c } }
+
+// WithRecovering marks a replica that joins an existing group via state
+// transfer.
+func WithRecovering(r bool) Option { return func(o *options) { o.recovering = r } }
+
+// WithCheckpointEvery sets the passive primary's checkpoint interval.
+func WithCheckpointEvery(n int) Option { return func(o *options) { o.ckptEvery = n } }
+
+// WithOnStatus observes replica role changes. Called on the loop.
+func WithOnStatus(fn func(Status)) Option { return func(o *options) { o.onStatus = fn } }
+
+// WithCompensation selects the drift-compensation strategy (§3.3).
+func WithCompensation(c Compensation) Option { return func(o *options) { o.compensation = c } }
+
+// WithMeanDelay sets the per-round offset bias for CompMeanDelay.
+func WithMeanDelay(d time.Duration) Option { return func(o *options) { o.meanDelay = d } }
+
+// WithExternalReference sets the reference clock and gain for CompExternal.
+// gain 0 takes the default (0.1).
+func WithExternalReference(ref HardwareClock, gain float64) Option {
+	return func(o *options) { o.external = ref; o.externalGain = gain }
+}
+
+// WithAgreedCCS trades the safe-delivery guarantee for lower round latency
+// (ablation of §4.3).
+func WithAgreedCCS(a bool) Option { return func(o *options) { o.agreedCCS = a } }
+
+// WithOnRound observes every completed CCS round. Called on the loop.
+func WithOnRound(fn func(RoundReport)) Option { return func(o *options) { o.onRound = fn } }
+
+// WithObservability plumbs the recorder through every layer of the service's
+// stack: round traces go to its sink, and each layer registers its counters
+// with its registry. Without this option the Service still creates a
+// sink-less recorder, so Observability() and metrics always work.
+func WithObservability(r *Recorder) Option { return func(o *options) { o.obs = r } }
+
+// Service is one replica of a consistent-time server group.
+type Service struct {
+	mgr       *replication.Manager
+	svc       *core.TimeService
+	stack     *gcs.Stack
+	obs       *obs.Recorder
+	ownsStack bool
+}
+
+// defaultApp answers CurrentTime with the group clock (big-endian uint64
+// nanoseconds) — enough to run a time server with no custom application.
+type defaultApp struct{ svc *core.TimeService }
+
+func (a *defaultApp) Invoke(ctx *Ctx, method string, _ []byte) []byte {
+	switch method {
+	case "CurrentTime":
+		v := a.svc.Gettimeofday(ctx)
+		out := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			out[i] = byte(uint64(v) >> (56 - 8*i))
+		}
+		return out
+	}
+	return nil
+}
+func (a *defaultApp) Snapshot() []byte { return nil }
+func (a *defaultApp) Restore([]byte)   {}
+
+// New assembles a Service from the options. It validates the configuration
+// of every layer; Start begins protocol activity.
+func New(opts ...Option) (*Service, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.runtime == nil {
+		return nil, errors.New("cts: WithRuntime is required")
+	}
+	if o.group == 0 {
+		o.group = DefaultGroup
+	}
+	if o.clock == nil {
+		o.clock = hwclock.SystemClock{}
+	}
+	if o.obs == nil {
+		// A sink-less recorder: tracing stays off (nil sink fast path), but
+		// the metrics registry works, so Observability() is always usable.
+		rec, err := obs.New(obs.Config{})
+		if err != nil {
+			return nil, err
+		}
+		o.obs = rec
+	}
+
+	s := &Service{obs: o.obs}
+	if o.stack != nil {
+		s.stack = o.stack
+	} else {
+		if o.transport == nil {
+			return nil, errors.New("cts: WithStack or WithTransport is required")
+		}
+		if !o.bootSet {
+			o.bootstrap = !o.recovering
+		}
+		rec := o.obs.ForNode(uint32(o.transport.LocalID()))
+		st, err := gcs.New(gcs.Config{
+			Runtime:     o.runtime,
+			Transport:   o.transport,
+			RingMembers: o.ring,
+			Bootstrap:   o.bootstrap,
+			Obs:         rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.stack = st
+		s.ownsStack = true
+	}
+
+	dapp := &defaultApp{}
+	app := o.app
+	if app == nil {
+		app = dapp
+	}
+	mgr, err := replication.New(replication.Config{
+		Runtime:         o.runtime,
+		Stack:           s.stack,
+		Group:           o.group,
+		Style:           o.style,
+		App:             app,
+		Recovering:      o.recovering,
+		CheckpointEvery: o.ckptEvery,
+		OnStatus:        o.onStatus,
+		Obs:             o.obs.ForNode(uint32(s.stack.LocalID())),
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := core.New(core.Config{
+		Manager:      mgr,
+		Clock:        o.clock,
+		Compensation: o.compensation,
+		MeanDelay:    o.meanDelay,
+		External:     o.external,
+		ExternalGain: o.externalGain,
+		AgreedCCS:    o.agreedCCS,
+		OnRound:      o.onRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dapp.svc = svc
+	s.mgr = mgr
+	s.svc = svc
+	return s, nil
+}
+
+// Start joins the server group and, for a facade-built stack, begins ring
+// activity. Safe to call from any goroutine.
+func (s *Service) Start() error {
+	if err := s.mgr.Start(); err != nil {
+		return err
+	}
+	if s.ownsStack {
+		s.stack.Start()
+	}
+	return nil
+}
+
+// Stop leaves the group and, for a facade-built stack, halts the ring.
+func (s *Service) Stop() {
+	s.mgr.Stop()
+	if s.ownsStack {
+		s.stack.Stop()
+	}
+}
+
+// Clock returns the interposition facade bound to a logical thread context.
+func (s *Service) Clock(ctx *Ctx) *Clock { return s.svc.Clock(ctx) }
+
+// Gettimeofday performs a consistent clock read at µs granularity.
+func (s *Service) Gettimeofday(ctx *Ctx) time.Duration { return s.svc.Gettimeofday(ctx) }
+
+// Time performs a consistent clock read at second granularity.
+func (s *Service) Time(ctx *Ctx) time.Duration { return s.svc.Time(ctx) }
+
+// Ftime performs a consistent clock read at millisecond granularity.
+func (s *Service) Ftime(ctx *Ctx) time.Duration { return s.svc.Ftime(ctx) }
+
+// Timestamp reports the group clock value to stamp into outgoing
+// inter-group messages (§5). Loop-only.
+func (s *Service) Timestamp() time.Duration { return s.svc.Timestamp() }
+
+// ObserveTimestamp records a group clock value carried by a delivered
+// inter-group message (§5). Loop-only.
+func (s *Service) ObserveTimestamp(t time.Duration) { s.svc.ObserveTimestamp(t) }
+
+// Observability returns the service's recorder: trace control, the metrics
+// registry, and histograms. Never nil.
+func (s *Service) Observability() *Recorder { return s.obs }
+
+// DumpMetrics writes a text dump of every registered counter and histogram.
+// Loop-only, like the counters it gathers.
+func (s *Service) DumpMetrics(w io.Writer) { s.obs.DumpMetrics(w) }
+
+// Stack exposes the group-communication endpoint.
+func (s *Service) Stack() *gcs.Stack { return s.stack }
+
+// Manager exposes the replication manager.
+func (s *Service) Manager() *replication.Manager { return s.mgr }

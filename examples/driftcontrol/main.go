@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"log"
 
-	"cts/internal/core"
+	"cts"
 	"cts/internal/experiment"
 )
 
@@ -31,8 +31,8 @@ func main() {
 	}
 	fmt.Printf("group-clock lag behind real time after %d rounds (%v of real time):\n\n",
 		rounds, res.RealSpan)
-	for _, comp := range []core.Compensation{
-		core.CompNone, core.CompMeanDelay, core.CompExternal,
+	for _, comp := range []cts.Compensation{
+		cts.CompNone, cts.CompMeanDelay, cts.CompExternal,
 	} {
 		lag := res.LagPerMode[comp]
 		perRound := lag / rounds

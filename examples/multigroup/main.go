@@ -19,25 +19,23 @@ import (
 	"log"
 	"time"
 
-	"cts/internal/core"
+	"cts"
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
-	"cts/internal/replication"
 	"cts/internal/rpc"
 	"cts/internal/sim"
 	"cts/internal/simnet"
 	"cts/internal/transport"
-	"cts/internal/wire"
 )
 
 const (
-	ordersGroup wire.GroupID = 101
-	auditGroup  wire.GroupID = 102
+	ordersGroup cts.GroupID = 101
+	auditGroup  cts.GroupID = 102
 )
 
-type timeApp struct{ svc *core.TimeService }
+type timeApp struct{ svc *cts.Service }
 
-func (a *timeApp) Invoke(ctx *replication.Ctx, method string, body []byte) []byte {
+func (a *timeApp) Invoke(ctx *cts.Ctx, method string, body []byte) []byte {
 	v := a.svc.Gettimeofday(ctx)
 	out := make([]byte, 8)
 	binary.BigEndian.PutUint64(out, uint64(v))
@@ -59,20 +57,21 @@ func main() {
 		}
 		stacks[id] = s
 	}
-	addReplica := func(id transport.NodeID, gid wire.GroupID, offset time.Duration) {
+	addReplica := func(id transport.NodeID, gid cts.GroupID, offset time.Duration) {
 		app := &timeApp{}
-		mgr, err := replication.New(replication.Config{Runtime: k,
-			Stack: stacks[id], Group: gid, Style: replication.Active, App: app})
-		if err != nil {
-			log.Fatal(err)
-		}
-		clock := hwclock.NewSim(k.Now, hwclock.WithOffset(offset))
-		svc, err := core.New(core.Config{Manager: mgr, Clock: clock})
+		svc, err := cts.New(
+			cts.WithRuntime(k),
+			cts.WithStack(stacks[id]),
+			cts.WithGroup(gid),
+			cts.WithStyle(cts.Active),
+			cts.WithApplication(app),
+			cts.WithClock(hwclock.NewSim(k.Now, hwclock.WithOffset(offset))),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		app.svc = svc
-		if err := mgr.Start(); err != nil {
+		if err := svc.Start(); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -81,7 +80,7 @@ func main() {
 	addReplica(3, auditGroup, 0) // audit clocks: +0s
 	addReplica(4, auditGroup, 0)
 
-	newClient := func(cg wire.GroupID, sg wire.GroupID) *rpc.Client {
+	newClient := func(cg, sg cts.GroupID) *rpc.Client {
 		c, err := rpc.NewClient(rpc.ClientConfig{Runtime: k, Stack: stacks[0],
 			ClientGroup: cg, ServerGroup: sg})
 		if err != nil {

@@ -1,9 +1,10 @@
 // Quickstart: a three-way actively replicated server whose clock reads are
 // rendered deterministic by the consistent time service.
 //
-// The example assembles the full stack by hand on a simulated network —
-// discrete-event kernel, simulated Ethernet, Totem ring, group layer,
-// replication manager, time service — so you can see how the pieces fit.
+// The example assembles the lower stack by hand on a simulated network —
+// discrete-event kernel, simulated Ethernet, Totem ring, group layer — and
+// builds each replica through the public cts facade, so you can see how the
+// pieces fit.
 // Replicas get physical clocks that disagree by seconds, yet every replica
 // observes the identical sequence of group clock values, and the client's
 // reads are monotone.
@@ -17,31 +18,29 @@ import (
 	"log"
 	"time"
 
-	"cts/internal/core"
+	"cts"
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
-	"cts/internal/replication"
 	"cts/internal/rpc"
 	"cts/internal/sim"
 	"cts/internal/simnet"
 	"cts/internal/transport"
-	"cts/internal/wire"
 )
 
 const (
-	serverGroup wire.GroupID = 100
-	clientGroup wire.GroupID = 900
+	serverGroup cts.GroupID = 100
+	clientGroup cts.GroupID = 900
 )
 
 // echoTimeApp is the replicated application: CurrentTime returns the group
 // clock read through the consistent time service.
 type echoTimeApp struct {
 	name     string
-	svc      *core.TimeService
+	svc      *cts.Service
 	readings []time.Duration
 }
 
-func (a *echoTimeApp) Invoke(ctx *replication.Ctx, method string, body []byte) []byte {
+func (a *echoTimeApp) Invoke(ctx *cts.Ctx, method string, body []byte) []byte {
 	v := a.svc.Gettimeofday(ctx)
 	a.readings = append(a.readings, v)
 	out := make([]byte, 8)
@@ -80,22 +79,19 @@ func main() {
 	for _, id := range ring[1:] {
 		clock := hwclock.NewSim(k.Now, hwclock.WithOffset(offsets[id]))
 		app := &echoTimeApp{name: id.String()}
-		mgr, err := replication.New(replication.Config{
-			Runtime: k,
-			Stack:   stacks[id],
-			Group:   serverGroup,
-			Style:   replication.Active,
-			App:     app,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		svc, err := core.New(core.Config{Manager: mgr, Clock: clock})
+		svc, err := cts.New(
+			cts.WithRuntime(k),
+			cts.WithStack(stacks[id]),
+			cts.WithGroup(serverGroup),
+			cts.WithStyle(cts.Active),
+			cts.WithApplication(app),
+			cts.WithClock(clock),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		app.svc = svc
-		if err := mgr.Start(); err != nil {
+		if err := svc.Start(); err != nil {
 			log.Fatal(err)
 		}
 		apps[id] = app

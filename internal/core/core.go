@@ -24,6 +24,7 @@ import (
 
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
+	"cts/internal/obs"
 	"cts/internal/replication"
 	"cts/internal/transport"
 	"cts/internal/wire"
@@ -90,6 +91,48 @@ type Config struct {
 	// OnRound, if set, observes every completed round (for experiments).
 	// Called on the loop.
 	OnRound func(RoundReport)
+	// Obs receives the CCS round-lifecycle trace events and registers this
+	// service's counters. Defaults to the manager's recorder; a nil recorder
+	// disables instrumentation at no cost. Optional.
+	Obs *obs.Recorder
+}
+
+// Validate checks cfg and fills defaults, returning the effective
+// configuration. Invalid settings are reported as errors instead of silently
+// misbehaving.
+func (c Config) Validate() (Config, error) {
+	if c.Manager == nil {
+		return c, errors.New("core: Config.Manager is required")
+	}
+	if c.Clock == nil {
+		return c, errors.New("core: Config.Clock is required")
+	}
+	switch c.Compensation {
+	case CompNone, CompMeanDelay, CompExternal:
+	default:
+		return c, fmt.Errorf("core: invalid Config.Compensation %d", int(c.Compensation))
+	}
+	if c.MeanDelay < 0 {
+		return c, fmt.Errorf("core: Config.MeanDelay must not be negative (got %v)", c.MeanDelay)
+	}
+	if c.Compensation == CompMeanDelay && c.MeanDelay == 0 {
+		c.MeanDelay = 75 * time.Microsecond
+	}
+	if c.Compensation == CompExternal {
+		if c.External == nil {
+			return c, errors.New("core: CompExternal requires Config.External")
+		}
+		if c.ExternalGain < 0 || c.ExternalGain > 1 {
+			return c, fmt.Errorf("core: Config.ExternalGain must be in (0, 1] (got %v)", c.ExternalGain)
+		}
+		if c.ExternalGain == 0 {
+			c.ExternalGain = 0.1
+		}
+	}
+	if c.Obs == nil {
+		c.Obs = c.Manager.Obs()
+	}
+	return c, nil
 }
 
 // RoundReport describes one completed CCS round at this replica.
@@ -167,6 +210,7 @@ type TimeService struct {
 	firing   bool
 
 	stats Stats
+	obs   *obs.Recorder
 }
 
 type commonEntry struct {
@@ -178,31 +222,20 @@ type commonEntry struct {
 // New creates a time service bound to the manager and installs its hooks
 // (CCS message routing and checkpoint participation).
 func New(cfg Config) (*TimeService, error) {
-	if cfg.Manager == nil {
-		return nil, errors.New("core: Config.Manager is required")
-	}
-	if cfg.Clock == nil {
-		return nil, errors.New("core: Config.Clock is required")
-	}
-	if cfg.Compensation == CompMeanDelay && cfg.MeanDelay == 0 {
-		cfg.MeanDelay = 75 * time.Microsecond
-	}
-	if cfg.Compensation == CompExternal {
-		if cfg.External == nil {
-			return nil, errors.New("core: CompExternal requires Config.External")
-		}
-		if cfg.ExternalGain <= 0 || cfg.ExternalGain > 1 {
-			cfg.ExternalGain = 0.1
-		}
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
 	}
 	s := &TimeService{
 		mgr:        cfg.Manager,
 		clock:      cfg.Clock,
 		cfg:        cfg,
+		obs:        cfg.Obs,
 		handlers:   make(map[uint64]*ccsHandler),
 		pendingRnd: make(map[uint64]uint64),
 		special:    ccsHandler{threadID: specialThreadID, buffer: make(map[uint64]roundMsg)},
 	}
+	cfg.Obs.Register(s)
 	cfg.Manager.Runtime().Post(func() {
 		cfg.Manager.SetCCSHandler(s.onCCS)
 		cfg.Manager.SetCheckpointHooks(s.captureForCheckpoint, s.restoreFromCheckpoint)
@@ -278,12 +311,14 @@ func (s *TimeService) beginRead(threadID uint64, op wire.ClockOp, complete func(
 	h.round++ // line 9
 	s.stats.RoundsInitiated++
 	round := h.round
+	s.obs.Trace(obs.ScopeCore, obs.EvReadStart, threadID, round, int64(local), "")
 
 	// Line 10: matching messages were moved from the common input buffer
 	// when the handler was created; line 11: check the input buffer.
 	if msg, ok := h.buffer[round]; ok {
 		delete(h.buffer, round)
 		s.stats.FromBuffer++
+		s.obs.Trace(obs.ScopeCore, obs.EvFromBuffer, threadID, round, int64(msg.proposed), "")
 		s.finishRound(h, round, physical, msg, true, complete)
 		return
 	}
@@ -305,6 +340,11 @@ func (s *TimeService) competes() bool {
 
 func (s *TimeService) sendCCS(threadID, round uint64, proposed time.Duration,
 	op wire.ClockOp, special bool) func() bool {
+	var attr string
+	if special {
+		attr = "special"
+	}
+	s.obs.Trace(obs.ScopeCore, obs.EvProposalQueued, threadID, round, int64(proposed), attr)
 	gid := s.mgr.Group()
 	payload := wire.MarshalCCS(wire.CCSPayload{
 		ThreadID: threadID,
@@ -321,10 +361,14 @@ func (s *TimeService) sendCCS(threadID, round uint64, proposed time.Duration,
 		return nil
 	}
 	s.stats.CCSSent++
+	// The proposal is now in the totally-ordered send path; it reaches the
+	// wire at the next token visit unless withdrawn.
+	s.obs.Trace(obs.ScopeCore, obs.EvCCSSent, threadID, round, int64(proposed), attr)
 	return func() bool {
 		if cancel() {
 			s.stats.CCSSent--
 			s.stats.CCSSuppressed++
+			s.obs.Trace(obs.ScopeCore, obs.EvCCSSuppressed, threadID, round, int64(proposed), attr)
 			return true
 		}
 		return false
@@ -357,11 +401,23 @@ func (s *TimeService) onCCS(msg wire.Message, meta gcs.Meta) {
 			}
 		}
 		rm.proposed = s.guardMonotone(rm.proposed)
+		s.traceFirstOrdered(p.ThreadID, round, rm)
 		s.common = append(s.common, commonEntry{threadID: p.ThreadID, round: round, msg: rm})
-		s.observeGroupValue(rm)
+		s.observeGroupValue(p.ThreadID, round, rm)
 		return
 	}
 	s.deliverToHandler(h, round, rm)
+}
+
+// traceFirstOrdered emits the round-decision event: the first CCS message
+// delivered for a round fixes the group clock value. Attr carries the
+// winning sender.
+func (s *TimeService) traceFirstOrdered(threadID, round uint64, rm roundMsg) {
+	if !s.obs.Tracing() {
+		return
+	}
+	s.obs.Trace(obs.ScopeCore, obs.EvFirstOrdered, threadID, round,
+		int64(rm.proposed), fmt.Sprintf("n%d", rm.sender))
 }
 
 // deliverToHandler implements recv_CCS_msg (lines 5–11 of Figure 3) plus the
@@ -375,6 +431,7 @@ func (s *TimeService) deliverToHandler(h *ccsHandler, round uint64, rm roundMsg)
 			w.cancel() // our own proposal lost the race; withdraw it
 		}
 		rm.proposed = s.guardMonotone(rm.proposed)
+		s.traceFirstOrdered(h.threadID, round, rm)
 		s.finishRound(h, round, w.physical, rm, true, w.complete)
 		return
 	}
@@ -385,11 +442,12 @@ func (s *TimeService) deliverToHandler(h *ccsHandler, round uint64, rm roundMsg)
 		return // duplicate of a buffered future round
 	}
 	rm.proposed = s.guardMonotone(rm.proposed)
+	s.traceFirstOrdered(h.threadID, round, rm)
 	h.buffer[round] = rm
 	// Every replica accepts the first delivered value for a round as the
 	// group clock and re-derives its offset, even when no local thread is
 	// blocked on the round (the paper's Figure 4 walk-through).
-	s.observeGroupValue(rm)
+	s.observeGroupValue(h.threadID, round, rm)
 	if h.threadID == specialThreadID {
 		s.consumeSpecial()
 	}
@@ -418,6 +476,7 @@ func (s *TimeService) finishRound(h *ccsHandler, round uint64,
 		h.round = round
 	}
 	grp := s.adoptGroupValue(rm, physical)
+	s.obs.Trace(obs.ScopeCore, obs.EvAdopted, h.threadID, round, int64(grp), "")
 	if s.cfg.OnRound != nil {
 		s.cfg.OnRound(RoundReport{
 			ThreadID: h.threadID, Round: round, Op: rm.op, Special: rm.special,
@@ -425,6 +484,7 @@ func (s *TimeService) finishRound(h *ccsHandler, round uint64,
 			Initiated: initiated, Winner: rm.sender,
 		})
 	}
+	s.obs.Trace(obs.ScopeCore, obs.EvReadDone, h.threadID, round, int64(grp), "")
 	complete(grp)
 }
 
@@ -443,9 +503,10 @@ func (s *TimeService) adoptGroupValue(rm roundMsg, physical time.Duration) time.
 // observeGroupValue updates this replica's offset from a round it did not
 // initiate, reading the physical clock at delivery time (as replica R3 does
 // in the paper's Figure 4 example).
-func (s *TimeService) observeGroupValue(rm roundMsg) {
+func (s *TimeService) observeGroupValue(threadID, round uint64, rm roundMsg) {
 	s.stats.RoundsObserved++
-	s.adoptGroupValue(rm, s.clock.Read())
+	grp := s.adoptGroupValue(rm, s.clock.Read())
+	s.obs.Trace(obs.ScopeCore, obs.EvAdopted, threadID, round, int64(grp), "")
 }
 
 // handler returns (creating if needed) the CCS handler for a thread,
@@ -485,7 +546,30 @@ func (s *TimeService) Offset() time.Duration { return s.offset }
 func (s *TimeService) LastGroupClock() time.Duration { return s.lastGroup }
 
 // StatsSnapshot returns activity counters. Loop-only.
+//
+// Deprecated: register an obs.Recorder via Config.Obs and gather the
+// counters through the obs.Source registry instead; this accessor remains
+// for existing tests and tools.
 func (s *TimeService) StatsSnapshot() Stats { return s.stats }
+
+// ObsNode implements obs.Source.
+func (s *TimeService) ObsNode() uint32 { return uint32(s.mgr.LocalNode()) }
+
+// ObsSamples implements obs.Source under the canonical core.* names.
+// Loop-only.
+func (s *TimeService) ObsSamples() []obs.Sample {
+	id := uint32(s.mgr.LocalNode())
+	return []obs.Sample{
+		{Node: id, Name: "core.rounds_initiated", Value: s.stats.RoundsInitiated},
+		{Node: id, Name: "core.rounds_observed", Value: s.stats.RoundsObserved},
+		{Node: id, Name: "core.ccs_sent", Value: s.stats.CCSSent},
+		{Node: id, Name: "core.ccs_suppressed", Value: s.stats.CCSSuppressed},
+		{Node: id, Name: "core.from_buffer", Value: s.stats.FromBuffer},
+		{Node: id, Name: "core.special_rounds", Value: s.stats.SpecialRounds},
+		{Node: id, Name: "core.monotonicity_fixes", Value: s.stats.MonotonicityFixes},
+		{Node: id, Name: "core.timers_fired", Value: s.stats.TimersFired},
+	}
+}
 
 // Clock is the interposition facade standing in for the clock-related
 // system calls of §4.1: each method carries its own operation type

@@ -16,6 +16,7 @@ import (
 	"cts/internal/faultinject"
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
+	"cts/internal/obs"
 	"cts/internal/replication"
 	"cts/internal/rpc"
 	"cts/internal/sim"
@@ -71,6 +72,12 @@ type ClusterConfig struct {
 	CheckpointEvery int
 	// ClientTimeout bounds each invocation; zero = none.
 	ClientTimeout time.Duration
+	// Observe enables the observability layer: a cluster-wide obs.Recorder
+	// (virtual-time clock) is plumbed through every stack layer and exposed
+	// as Cluster.Obs. Off by default so measurement runs pay nothing.
+	Observe bool
+	// TraceSink, when set, receives the round trace events (implies Observe).
+	TraceSink obs.TraceSink
 }
 
 // Cluster is a running simulated deployment: client on node 0, replicas on
@@ -91,6 +98,11 @@ type Cluster struct {
 	Reports map[transport.NodeID][]core.RoundReport
 	// PBReports collects baseline read reports per replica.
 	PBReports map[transport.NodeID][]baseline.Report
+
+	// Obs is the cluster-wide recorder (nil unless ClusterConfig.Observe or
+	// TraceSink is set). Gather its Samples between RunUntil steps — sources
+	// are loop-confined and the kernel only runs inside Run calls.
+	Obs *obs.Recorder
 
 	cfg   ClusterConfig
 	nodes []transport.NodeID
@@ -118,6 +130,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:       cfg,
 	}
 	c.Inject = faultinject.New(k, c.Net)
+	if cfg.Observe || cfg.TraceSink != nil {
+		rec, err := obs.New(obs.Config{Now: k.Now, Sink: cfg.TraceSink})
+		if err != nil {
+			return nil, err
+		}
+		c.Obs = rec
+	}
 	for i := 0; i <= len(cfg.Replicas); i++ {
 		c.nodes = append(c.nodes, transport.NodeID(i))
 	}
@@ -129,6 +148,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Runtime: k, Stack: c.Stacks[0],
 		ClientGroup: ClientGroup, ServerGroup: ServerGroup,
 		Timeout: cfg.ClientTimeout,
+		Obs:     c.Obs.ForNode(0),
 	})
 	if err != nil {
 		return nil, err
@@ -157,6 +177,7 @@ func (c *Cluster) addStack(id transport.NodeID, bootstrap bool) error {
 		Transport:   c.Net.Endpoint(id),
 		RingMembers: c.nodes,
 		Bootstrap:   bootstrap,
+		Obs:         c.Obs.ForNode(uint32(id)),
 	})
 	if err != nil {
 		return err
@@ -181,6 +202,7 @@ func (c *Cluster) addReplica(id transport.NodeID, spec ClockSpec, recovering boo
 		App:             app,
 		Recovering:      recovering,
 		CheckpointEvery: c.cfg.CheckpointEvery,
+		Obs:             c.Obs.ForNode(uint32(id)),
 	})
 	if err != nil {
 		return err
@@ -243,6 +265,7 @@ func (c *Cluster) AddRecoveringReplica(spec ClockSpec) (transport.NodeID, error)
 		Transport:   c.Net.Endpoint(id),
 		RingMembers: c.nodes,
 		Bootstrap:   false,
+		Obs:         c.Obs.ForNode(uint32(id)),
 	})
 	if err != nil {
 		return 0, err

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cts/internal/core"
+	"cts/internal/obs"
 	"cts/internal/replication"
 	"cts/internal/rpc"
 	"cts/internal/sim"
@@ -37,6 +38,10 @@ func testbedClocks() []ClockSpec {
 type Figure5Result struct {
 	With    stats.Durations // consistent time service active
 	Without stats.Durations // raw local clocks
+	// Metrics carries the stack-wide counters of the traced (ModeCTS) run,
+	// gathered through the obs.Source registry. Empty unless the run was
+	// started with RunFigure5Traced.
+	Metrics []obs.Sample
 }
 
 // Overhead reports the added mean latency (the paper measures ≈300µs, one
@@ -53,14 +58,31 @@ func (r *Figure5Result) Overhead() time.Duration {
 // (back-to-back invocations lock onto the rotation and hide stage costs in
 // the wait for the client node's token visit).
 func RunFigure5(seed int64, invocations int) (*Figure5Result, error) {
+	return runFigure5(seed, invocations, nil, false)
+}
+
+// RunFigure5Traced is RunFigure5 with the observability layer enabled on the
+// ModeCTS cluster: round trace events go to sink (which may be nil for
+// metrics only) and Figure5Result.Metrics carries the gathered stack-wide
+// counters. The measurement (ModeLocal) cluster stays uninstrumented.
+func RunFigure5Traced(seed int64, invocations int, sink obs.TraceSink) (*Figure5Result, error) {
+	return runFigure5(seed, invocations, sink, true)
+}
+
+func runFigure5(seed int64, invocations int, sink obs.TraceSink, observe bool) (*Figure5Result, error) {
 	res := &Figure5Result{}
 	for _, mode := range []TimeMode{ModeCTS, ModeLocal} {
-		c, err := NewCluster(ClusterConfig{
+		cc := ClusterConfig{
 			Seed:     seed,
 			Replicas: testbedClocks(),
 			Style:    replication.Active,
 			Mode:     mode,
-		})
+		}
+		if mode == ModeCTS && observe {
+			cc.Observe = true
+			cc.TraceSink = sink
+		}
+		c, err := NewCluster(cc)
 		if err != nil {
 			return nil, err
 		}
@@ -89,6 +111,9 @@ func RunFigure5(seed int64, invocations int) (*Figure5Result, error) {
 			func() bool { return done >= invocations }) {
 			return nil, fmt.Errorf("figure5: %d/%d invocations completed (mode %d)",
 				done, invocations, mode)
+		}
+		if c.Obs != nil {
+			res.Metrics = c.Obs.Samples()
 		}
 	}
 	return res, nil

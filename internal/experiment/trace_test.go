@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"testing"
+
+	"cts/internal/obs"
+)
+
+// TestFigure5RoundTrace drives the Figure 5 workload (three-way actively
+// replicated server) with the observability layer on and asserts that every
+// replica emits the complete, ordered CCS round lifecycle —
+// read_start → proposal_queued → ccs_sent → first_ordered → adopted →
+// read_done — for the invocation thread's early rounds.
+func TestFigure5RoundTrace(t *testing.T) {
+	const invocations = 5
+	sink := obs.NewMemorySink(0)
+	res, err := RunFigure5Traced(1, invocations, sink)
+	if err != nil {
+		t.Fatalf("RunFigure5Traced: %v", err)
+	}
+	evs := sink.Events()
+	if len(evs) == 0 {
+		t.Fatal("trace sink received no events")
+	}
+
+	// Under active replication every replica (nodes 1..3) runs the
+	// invocation thread (id 1) and competes in every round.
+	const invThread = 1
+	for node := uint32(1); node <= 3; node++ {
+		for round := uint64(1); round <= invocations; round++ {
+			span, err := obs.VerifyRound(evs, node, invThread, round)
+			if err != nil {
+				t.Errorf("node %d round %d: %v", node, round, err)
+				continue
+			}
+			for i := 1; i < len(span); i++ {
+				if span[i].T < span[i-1].T {
+					t.Errorf("node %d round %d: %s at %v precedes %s at %v",
+						node, round, span[i].Name, span[i].T, span[i-1].Name, span[i-1].T)
+				}
+			}
+		}
+	}
+
+	// The totem sub-spans of the safe-delivery path must be present: CCS
+	// messages use safe delivery, which blocks on the safe point for about
+	// one extra token circulation (§4.3).
+	var tokens, safeWaits, safeDelivered int
+	for _, ev := range evs {
+		if ev.Scope != obs.ScopeTotem {
+			continue
+		}
+		switch ev.Name {
+		case obs.EvTokenRecv:
+			tokens++
+		case obs.EvSafeWait:
+			safeWaits++
+		case obs.EvSafeDelivered:
+			safeDelivered++
+		}
+	}
+	if tokens == 0 {
+		t.Error("no token_recv events recorded")
+	}
+	if safeWaits == 0 || safeDelivered == 0 {
+		t.Errorf("safe-delivery sub-spans missing: %d safe_wait, %d safe_delivered",
+			safeWaits, safeDelivered)
+	}
+
+	// The gathered metrics must cover every instrumented layer under the
+	// canonical names.
+	m := obs.SampleMap(res.Metrics)
+	for _, name := range []string{
+		"core.rounds_initiated", "core.ccs_sent",
+		"totem.tokens_handled", "totem.delivered",
+		"gcs.multicasts", "gcs.app_delivered",
+		"repl.executed", "repl.replies_sent",
+		"rpc.invocations", "rpc.replies",
+	} {
+		if m[name] == 0 {
+			t.Errorf("metric %s is zero or missing", name)
+		}
+	}
+	if m["rpc.replies"] != invocations {
+		t.Errorf("rpc.replies = %d, want %d", m["rpc.replies"], invocations)
+	}
+}
+
+// TestClusterObserveDisabledByDefault pins the nil fast path: a cluster
+// without Observe has no recorder, so instrumentation stays off.
+func TestClusterObserveDisabledByDefault(t *testing.T) {
+	res, err := RunFigure5(1, 2)
+	if err != nil {
+		t.Fatalf("RunFigure5: %v", err)
+	}
+	if len(res.Metrics) != 0 {
+		t.Fatalf("untraced run gathered %d metric samples, want 0", len(res.Metrics))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"cts/internal/obs"
 	"cts/internal/sim"
 	"cts/internal/totem"
 	"cts/internal/transport"
@@ -57,6 +58,27 @@ type Config struct {
 	// Totem carries optional protocol tuning; its Runtime, Transport,
 	// Members, Bootstrap, Deliver and OnView fields are ignored.
 	Totem totem.Config
+	// Obs registers this stack's counters and is handed down to the totem
+	// layer for token-level tracing. A nil recorder disables instrumentation
+	// at no cost. Optional.
+	Obs *obs.Recorder
+}
+
+// Validate checks cfg, returning the effective configuration. Layer defaults
+// (totem timeouts) are filled by the totem constructor.
+func (c Config) Validate() (Config, error) {
+	if c.Runtime == nil || c.Transport == nil {
+		return c, errors.New("gcs: Runtime and Transport are required")
+	}
+	return c, nil
+}
+
+// Stats counts group-communication activity.
+type Stats struct {
+	Multicasts        uint64 // application messages queued for the total order
+	AppDelivered      uint64 // application messages delivered in total order
+	AnnounceDelivered uint64 // group-announcement messages delivered
+	ViewsEmitted      uint64 // group view changes emitted
 }
 
 // envelope tags multiplexed over totem.
@@ -83,12 +105,16 @@ type Stack struct {
 	viewWatchers []ViewHandler
 	// msgWatchers observe every application message in total order.
 	msgWatchers []MessageHandler
+
+	stats Stats
+	obs   *obs.Recorder
 }
 
 // New creates a stack. Call Start to begin.
 func New(cfg Config) (*Stack, error) {
-	if cfg.Runtime == nil || cfg.Transport == nil {
-		return nil, errors.New("gcs: Runtime and Transport are required")
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
 	}
 	s := &Stack{
 		rt:         cfg.Runtime,
@@ -96,6 +122,7 @@ func New(cfg Config) (*Stack, error) {
 		groups:     make(map[wire.GroupID]*Group),
 		membership: make(map[wire.GroupID]map[transport.NodeID]bool),
 		lastViews:  make(map[wire.GroupID]GroupView),
+		obs:        cfg.Obs,
 	}
 	tc := cfg.Totem
 	tc.Runtime = cfg.Runtime
@@ -104,11 +131,15 @@ func New(cfg Config) (*Stack, error) {
 	tc.Bootstrap = cfg.Bootstrap
 	tc.Deliver = s.onDeliver
 	tc.OnView = s.onRingView
+	if tc.Obs == nil {
+		tc.Obs = cfg.Obs
+	}
 	node, err := totem.New(tc)
 	if err != nil {
 		return nil, fmt.Errorf("gcs: %w", err)
 	}
 	s.node = node
+	cfg.Obs.Register(s)
 	return s, nil
 }
 
@@ -123,6 +154,28 @@ func (s *Stack) Node() *totem.Node { return s.node }
 
 // LocalID reports the processor identity of this stack.
 func (s *Stack) LocalID() transport.NodeID { return s.me }
+
+// StatsSnapshot returns cumulative group-communication counters. Must be
+// called on the runtime loop.
+//
+// Deprecated: register an obs.Recorder via Config.Obs and gather the
+// counters through the obs.Source registry instead.
+func (s *Stack) StatsSnapshot() Stats { return s.stats }
+
+// ObsNode implements obs.Source.
+func (s *Stack) ObsNode() uint32 { return uint32(s.me) }
+
+// ObsSamples implements obs.Source under the canonical gcs.* names.
+// Loop-only.
+func (s *Stack) ObsSamples() []obs.Sample {
+	id := uint32(s.me)
+	return []obs.Sample{
+		{Node: id, Name: "gcs.multicasts", Value: s.stats.Multicasts},
+		{Node: id, Name: "gcs.app_delivered", Value: s.stats.AppDelivered},
+		{Node: id, Name: "gcs.announce_delivered", Value: s.stats.AnnounceDelivered},
+		{Node: id, Name: "gcs.views_emitted", Value: s.stats.ViewsEmitted},
+	}
+}
 
 // Group is a local group membership.
 type Group struct {
@@ -179,6 +232,7 @@ func (s *Stack) Multicast(m wire.Message) error {
 	env := make([]byte, 1+len(b))
 	env[0] = envApp
 	copy(env[1:], b)
+	s.rt.Post(func() { s.stats.Multicasts++ }) // counter is loop-confined
 	return s.node.Broadcast(env)
 }
 
@@ -199,6 +253,7 @@ func (s *Stack) MulticastCancelable(m wire.Message, safe bool) (func() bool, err
 	env := make([]byte, 1+len(b))
 	env[0] = envApp
 	copy(env[1:], b)
+	s.stats.Multicasts++
 	return s.node.BroadcastCancelable(env, safe, messageIdentity(m.Header)), nil
 }
 
@@ -325,6 +380,7 @@ func (s *Stack) onDeliver(d totem.Delivery) {
 		if err != nil {
 			return
 		}
+		s.stats.AppDelivered++
 		meta := Meta{TotalOrder: d.TotalOrder, Ring: d.Ring,
 			Seq: d.Seq, Sender: d.Sender}
 		for _, w := range s.msgWatchers {
@@ -339,6 +395,7 @@ func (s *Stack) onDeliver(d totem.Delivery) {
 		if len(body)%4 != 0 {
 			return
 		}
+		s.stats.AnnounceDelivered++
 		announced := make(map[wire.GroupID]bool, len(body)/4)
 		for off := 0; off+4 <= len(body); off += 4 {
 			announced[getGroupID(body[off:])] = true
@@ -373,6 +430,7 @@ func (s *Stack) emitChangedViews() {
 			continue
 		}
 		s.lastViews[gid] = view
+		s.stats.ViewsEmitted++
 		if g, ok := s.groups[gid]; ok && g.onView != nil {
 			g.onView(view)
 		}

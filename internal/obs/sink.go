@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// TraceSink consumes trace events. Implementations must be safe for
+// concurrent Emit calls (recorders are shared across goroutines in real
+// deployments).
+type TraceSink interface {
+	Emit(Event)
+}
+
+// MemorySink retains events in emission order, for tests and in-process
+// analysis.
+type MemorySink struct {
+	mu    sync.Mutex
+	evs   []Event
+	limit int
+}
+
+// NewMemorySink creates a memory sink. limit bounds retained events (oldest
+// dropped first); limit <= 0 retains everything.
+func NewMemorySink(limit int) *MemorySink {
+	return &MemorySink{limit: limit}
+}
+
+// Emit implements TraceSink.
+func (s *MemorySink) Emit(ev Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, ev)
+	if s.limit > 0 && len(s.evs) > s.limit {
+		drop := len(s.evs) - s.limit
+		s.evs = append(s.evs[:0], s.evs[drop:]...)
+	}
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in emission order.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.evs))
+	copy(out, s.evs)
+	return out
+}
+
+// Len reports the number of retained events.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.evs)
+}
+
+// JSONLinesSink writes one JSON object per event per line — the trace export
+// format of ctsnode -trace and ctsbench -trace. Emission never fails the
+// caller; the first write error is retained and reported by Err.
+type JSONLinesSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewJSONLinesSink creates a JSON-lines sink writing to w.
+func NewJSONLinesSink(w io.Writer) (*JSONLinesSink, error) {
+	if w == nil {
+		return nil, ErrNoSink
+	}
+	return &JSONLinesSink{w: bufio.NewWriter(w)}, nil
+}
+
+// Emit implements TraceSink.
+func (s *JSONLinesSink) Emit(ev Event) {
+	b, err := json.Marshal(ev)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// Flush drains buffered output to the underlying writer.
+func (s *JSONLinesSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Count reports the number of events written so far.
+func (s *JSONLinesSink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Err reports the first emission error, if any.
+func (s *JSONLinesSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// DecodeJSONLines parses a JSON-lines trace back into events, in order.
+// Blank lines are skipped; the first malformed line aborts with an error.
+func DecodeJSONLines(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: trace read: %w", err)
+	}
+	return out, nil
+}
+
+// multiSink fans one event out to several sinks.
+type multiSink []TraceSink
+
+// MultiSink combines sinks; nil entries are dropped. It returns nil when no
+// sink remains, which disables tracing entirely.
+func MultiSink(sinks ...TraceSink) TraceSink {
+	var ms multiSink
+	for _, s := range sinks {
+		if s != nil {
+			ms = append(ms, s)
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return ms[0]
+	default:
+		return ms
+	}
+}
+
+// Emit implements TraceSink.
+func (ms multiSink) Emit(ev Event) {
+	for _, s := range ms {
+		s.Emit(ev)
+	}
+}
+
+// Logger writes structured key=value lines — the replacement for the ad-hoc
+// prints behind ctsnode -v. It is safe for concurrent use.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger creates a structured logger writing to w.
+func NewLogger(w io.Writer) (*Logger, error) {
+	if w == nil {
+		return nil, ErrNoSink
+	}
+	return &Logger{w: w}, nil
+}
+
+// KV is one structured logging field.
+type KV struct {
+	K string
+	V any
+}
+
+// F builds a logging field.
+func F(k string, v any) KV { return KV{K: k, V: v} }
+
+// Log writes one structured line: "event=<name> k=v k=v ...". Values render
+// with %v; strings containing spaces are quoted.
+func (l *Logger) Log(event string, fields ...KV) {
+	var b strings.Builder
+	b.WriteString("event=")
+	b.WriteString(event)
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(f.K)
+		b.WriteByte('=')
+		s := fmt.Sprintf("%v", f.V)
+		if strings.ContainsAny(s, " \t\"") {
+			s = fmt.Sprintf("%q", s)
+		}
+		b.WriteString(s)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// loggerSink adapts a Logger into a TraceSink: each event becomes one
+// structured line.
+type loggerSink struct{ l *Logger }
+
+// Sink returns a TraceSink that renders every trace event through the
+// logger.
+func (l *Logger) Sink() TraceSink { return loggerSink{l} }
+
+// Emit implements TraceSink.
+func (s loggerSink) Emit(ev Event) {
+	fields := []KV{
+		F("t", ev.T),
+		F("node", ev.Node),
+		F("scope", ev.Scope),
+	}
+	if ev.Thread != 0 {
+		fields = append(fields, F("thread", ev.Thread))
+	}
+	if ev.Round != 0 {
+		fields = append(fields, F("round", ev.Round))
+	}
+	if ev.Value != 0 {
+		fields = append(fields, F("value", ev.Value))
+	}
+	if ev.Attr != "" {
+		fields = append(fields, F("attr", ev.Attr))
+	}
+	s.l.Log(ev.Name, fields...)
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"cts/internal/gcs"
+	"cts/internal/obs"
 	"cts/internal/sim"
 	"cts/internal/transport"
 	"cts/internal/wire"
@@ -114,6 +115,40 @@ type Config struct {
 	CheckpointEvery int
 	// OnStatus, if set, receives role changes. Called on the loop.
 	OnStatus func(Status)
+	// Obs registers this manager's counters. A nil recorder disables
+	// instrumentation at no cost. Optional.
+	Obs *obs.Recorder
+}
+
+// Validate checks cfg and fills defaults, returning the effective
+// configuration.
+func (c Config) Validate() (Config, error) {
+	if c.Runtime == nil {
+		return c, errors.New("replication: Config.Runtime is required")
+	}
+	if c.Stack == nil {
+		return c, errors.New("replication: Config.Stack is required")
+	}
+	if c.App == nil {
+		return c, errors.New("replication: Config.App is required")
+	}
+	if c.Group == 0 {
+		return c, errors.New("replication: Config.Group is required")
+	}
+	switch c.Style {
+	case 0:
+		c.Style = Active
+	case Active, Passive, SemiActive:
+	default:
+		return c, fmt.Errorf("replication: invalid Config.Style %d", int(c.Style))
+	}
+	if c.CheckpointEvery < 0 {
+		return c, fmt.Errorf("replication: Config.CheckpointEvery must not be negative (got %d)", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10
+	}
+	return c, nil
 }
 
 // invKey identifies an invocation (or checkpoint) for duplicate suppression.
@@ -201,27 +236,14 @@ type Manager struct {
 
 	sinceCheckpoint int
 	stats           Stats
+	obs             *obs.Recorder
 }
 
 // New creates a manager. Call Start to join the group and begin.
 func New(cfg Config) (*Manager, error) {
-	if cfg.Runtime == nil {
-		return nil, errors.New("replication: Config.Runtime is required")
-	}
-	if cfg.Stack == nil {
-		return nil, errors.New("replication: Config.Stack is required")
-	}
-	if cfg.App == nil {
-		return nil, errors.New("replication: Config.App is required")
-	}
-	if cfg.Group == 0 {
-		return nil, errors.New("replication: Config.Group is required")
-	}
-	if cfg.Style == 0 {
-		cfg.Style = Active
-	}
-	if cfg.CheckpointEvery <= 0 {
-		cfg.CheckpointEvery = 10
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
 	}
 	m := &Manager{
 		rt:             cfg.Runtime,
@@ -241,7 +263,9 @@ func New(cfg Config) (*Manager, error) {
 		replyCache:     make(map[invKey]cachedReply),
 		dupCount:       make(map[invKey]uint64),
 		getstatePos:    make(map[uint64]uint64),
+		obs:            cfg.Obs,
 	}
+	cfg.Obs.Register(m)
 	return m, nil
 }
 
@@ -323,7 +347,32 @@ func (m *Manager) InPrimaryComponent() bool { return m.view.Primary }
 func (m *Manager) Live() bool { return m.live }
 
 // StatsSnapshot returns activity counters. Loop-only.
+//
+// Deprecated: register an obs.Recorder via Config.Obs and gather the
+// counters through the obs.Source registry instead; this accessor remains
+// for existing tests and tools.
 func (m *Manager) StatsSnapshot() Stats { return m.stats }
+
+// Obs returns the manager's recorder (nil when observability is off).
+func (m *Manager) Obs() *obs.Recorder { return m.obs }
+
+// ObsNode implements obs.Source.
+func (m *Manager) ObsNode() uint32 { return uint32(m.me) }
+
+// ObsSamples implements obs.Source under the canonical repl.* names.
+// Loop-only.
+func (m *Manager) ObsSamples() []obs.Sample {
+	id := uint32(m.me)
+	return []obs.Sample{
+		{Node: id, Name: "repl.executed", Value: m.stats.Executed},
+		{Node: id, Name: "repl.replies_sent", Value: m.stats.RepliesSent},
+		{Node: id, Name: "repl.replies_suppressed", Value: m.stats.RepliesSuppressed},
+		{Node: id, Name: "repl.checkpoints_sent", Value: m.stats.CheckpointsSent},
+		{Node: id, Name: "repl.checkpoints_applied", Value: m.stats.CheckpointsApplied},
+		{Node: id, Name: "repl.replayed", Value: m.stats.Replayed},
+		{Node: id, Name: "repl.resyncs", Value: m.stats.Resyncs},
+	}
+}
 
 // SpawnThread creates a new logical thread and runs fn on it, concurrently
 // with (and deterministically interleaved against) the invocation thread.

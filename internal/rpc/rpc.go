@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cts/internal/gcs"
+	"cts/internal/obs"
 	"cts/internal/sim"
 	"cts/internal/wire"
 )
@@ -44,6 +45,43 @@ type ClientConfig struct {
 	// delivers it after the partition heals. Default Timeout/4 when a
 	// timeout is set, otherwise no retransmission.
 	Retry time.Duration
+	// Obs registers this client's counters and records per-invocation
+	// latency into the "rpc.invoke_latency" histogram. A nil recorder
+	// disables instrumentation at no cost. Optional.
+	Obs *obs.Recorder
+}
+
+// Validate checks cfg and fills defaults, returning the effective
+// configuration.
+func (c ClientConfig) Validate() (ClientConfig, error) {
+	if c.Runtime == nil || c.Stack == nil {
+		return c, errors.New("rpc: Runtime and Stack are required")
+	}
+	if c.ClientGroup == 0 || c.ServerGroup == 0 {
+		return c, errors.New("rpc: ClientGroup and ServerGroup are required")
+	}
+	if c.Timeout < 0 {
+		return c, fmt.Errorf("rpc: ClientConfig.Timeout must not be negative (got %v)", c.Timeout)
+	}
+	if c.Retry < 0 {
+		return c, fmt.Errorf("rpc: ClientConfig.Retry must not be negative (got %v)", c.Retry)
+	}
+	if c.Conn == 0 {
+		c.Conn = 1
+	}
+	if c.Retry == 0 && c.Timeout > 0 {
+		c.Retry = c.Timeout / 4
+	}
+	return c, nil
+}
+
+// Stats counts client activity.
+type Stats struct {
+	Invocations uint64 // requests sent
+	Replies     uint64 // invocations completed by a first reply
+	Timeouts    uint64 // invocations failed by deadline
+	Retries     uint64 // request retransmissions
+	DupReplies  uint64 // redundant replies dropped
 }
 
 // Reply is a completed invocation's result.
@@ -59,6 +97,7 @@ type call struct {
 	msg   wire.Message // retained for retransmission
 	timer sim.Canceler
 	retry sim.Canceler
+	start time.Duration // loop clock at send, for the latency histogram
 }
 
 // Client invokes methods on a replicated server group.
@@ -71,34 +110,52 @@ type Client struct {
 	nextID uint64
 	calls  map[uint64]*call
 	closed bool
+	stats  Stats
+	obs    *obs.Recorder
 }
 
 // NewClient creates a client and joins its reply group.
 func NewClient(cfg ClientConfig) (*Client, error) {
-	if cfg.Runtime == nil || cfg.Stack == nil {
-		return nil, errors.New("rpc: Runtime and Stack are required")
-	}
-	if cfg.ClientGroup == 0 || cfg.ServerGroup == 0 {
-		return nil, errors.New("rpc: ClientGroup and ServerGroup are required")
-	}
-	if cfg.Conn == 0 {
-		cfg.Conn = 1
-	}
-	if cfg.Retry == 0 && cfg.Timeout > 0 {
-		cfg.Retry = cfg.Timeout / 4
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
 	}
 	c := &Client{
 		rt:    cfg.Runtime,
 		stack: cfg.Stack,
 		cfg:   cfg,
 		calls: make(map[uint64]*call),
+		obs:   cfg.Obs,
 	}
 	g, err := cfg.Stack.Join(cfg.ClientGroup, c.onReply, nil)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: %w", err)
 	}
 	c.group = g
+	cfg.Obs.Register(c)
 	return c, nil
+}
+
+// StatsSnapshot returns cumulative client counters. Loop-only.
+//
+// Deprecated: register an obs.Recorder via ClientConfig.Obs and gather the
+// counters through the obs.Source registry instead.
+func (c *Client) StatsSnapshot() Stats { return c.stats }
+
+// ObsNode implements obs.Source.
+func (c *Client) ObsNode() uint32 { return uint32(c.stack.LocalID()) }
+
+// ObsSamples implements obs.Source under the canonical rpc.* names.
+// Loop-only.
+func (c *Client) ObsSamples() []obs.Sample {
+	id := uint32(c.stack.LocalID())
+	return []obs.Sample{
+		{Node: id, Name: "rpc.invocations", Value: c.stats.Invocations},
+		{Node: id, Name: "rpc.replies", Value: c.stats.Replies},
+		{Node: id, Name: "rpc.timeouts", Value: c.stats.Timeouts},
+		{Node: id, Name: "rpc.retries", Value: c.stats.Retries},
+		{Node: id, Name: "rpc.dup_replies", Value: c.stats.DupReplies},
+	}
 }
 
 // Invoke sends a request and calls done with the first reply (or an error).
@@ -139,14 +196,16 @@ func (c *Client) InvokeStamped(method string, body []byte, ts time.Duration, don
 				Conn: c.cfg.Conn, Seq: c.seq},
 			Payload: payload,
 		}
-		cl := &call{done: done, msg: msg}
+		cl := &call{done: done, msg: msg, start: c.rt.Now()}
 		c.calls[id] = cl
+		c.stats.Invocations++
 		if c.cfg.Timeout > 0 {
 			cl.timer = c.rt.After(c.cfg.Timeout, func() {
 				if _, ok := c.calls[id]; !ok {
 					return
 				}
 				c.drop(id)
+				c.stats.Timeouts++
 				done(Reply{Err: ErrTimeout})
 			})
 		}
@@ -181,6 +240,7 @@ func (c *Client) armRetry(id uint64, cl *call) {
 		if _, ok := c.calls[id]; !ok {
 			return
 		}
+		c.stats.Retries++
 		_ = c.stack.Multicast(cl.msg)
 		c.armRetry(id, cl)
 	})
@@ -222,9 +282,12 @@ func (c *Client) onReply(m wire.Message, _ gcs.Meta) {
 	}
 	cl, ok := c.calls[p.InvocationID]
 	if !ok {
+		c.stats.DupReplies++
 		return // duplicate or stale reply
 	}
 	c.drop(p.InvocationID)
+	c.stats.Replies++
+	c.obs.Observe("rpc.invoke_latency", c.rt.Now()-cl.start)
 	body := make([]byte, len(p.Body))
 	copy(body, p.Body)
 	cl.done(Reply{Body: body, Replica: p.ReplicaNode, Timestamp: p.Timestamp})

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDurationsSingleElement pins every statistic for a one-observation
+// sample: all location statistics collapse to the observation and spread
+// statistics are zero.
+func TestDurationsSingleElement(t *testing.T) {
+	var d Durations
+	d.Add(7 * time.Millisecond)
+	want := 7 * time.Millisecond
+	if d.N() != 1 {
+		t.Fatalf("N = %d, want 1", d.N())
+	}
+	for name, got := range map[string]time.Duration{
+		"Min":    d.Min(),
+		"Max":    d.Max(),
+		"Mean":   d.Mean(),
+		"Median": d.Median(),
+		"p0":     d.Percentile(0),
+		"p37.5":  d.Percentile(37.5),
+		"p100":   d.Percentile(100),
+	} {
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if d.Stddev() != 0 {
+		t.Errorf("Stddev = %v, want 0 for n=1", d.Stddev())
+	}
+}
+
+// TestPercentileOutOfRange clamps p below 0 and above 100 to the extremes
+// rather than panicking or extrapolating.
+func TestPercentileOutOfRange(t *testing.T) {
+	var d Durations
+	for _, v := range []time.Duration{30, 10, 20} {
+		d.Add(v * time.Millisecond)
+	}
+	if got := d.Percentile(-5); got != 10*time.Millisecond {
+		t.Errorf("p(-5) = %v, want min", got)
+	}
+	if got := d.Percentile(250); got != 30*time.Millisecond {
+		t.Errorf("p(250) = %v, want max", got)
+	}
+}
+
+// TestDurationsAddAfterQuery verifies the lazy sort is invalidated by a
+// subsequent Add: statistics after the second Add see the new observation.
+func TestDurationsAddAfterQuery(t *testing.T) {
+	var d Durations
+	d.Add(20 * time.Millisecond)
+	d.Add(10 * time.Millisecond)
+	if got := d.Min(); got != 10*time.Millisecond { // forces the sort
+		t.Fatalf("min = %v, want 10ms", got)
+	}
+	d.Add(5 * time.Millisecond)
+	if got := d.Min(); got != 5*time.Millisecond {
+		t.Errorf("min after Add = %v, want 5ms", got)
+	}
+	if got := d.Max(); got != 20*time.Millisecond {
+		t.Errorf("max after Add = %v, want 20ms", got)
+	}
+	if got := d.N(); got != 3 {
+		t.Errorf("N = %d, want 3", got)
+	}
+}
+
+// TestDurationsIdenticalObservations: a constant sample has zero spread and
+// every percentile equals the constant.
+func TestDurationsIdenticalObservations(t *testing.T) {
+	var d Durations
+	for i := 0; i < 10; i++ {
+		d.Add(3 * time.Millisecond)
+	}
+	if d.Stddev() != 0 {
+		t.Errorf("Stddev = %v, want 0", d.Stddev())
+	}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := d.Percentile(p); got != 3*time.Millisecond {
+			t.Errorf("p%v = %v, want 3ms", p, got)
+		}
+	}
+}
+
+// TestDurationsEmptySummary: Summary on the zero value renders without
+// panicking and reports n=0.
+func TestDurationsEmptySummary(t *testing.T) {
+	var d Durations
+	if s := d.Summary(); s != "n=0 min=0s p50=0s mean=0s p99=0s max=0s" {
+		t.Errorf("empty Summary = %q", s)
+	}
+	if vals := d.Values(); len(vals) != 0 {
+		t.Errorf("empty Values = %v", vals)
+	}
+}

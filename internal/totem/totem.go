@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"cts/internal/obs"
 	"cts/internal/sim"
 	"cts/internal/transport"
 )
@@ -63,6 +64,54 @@ type Config struct {
 	AnnounceInterval time.Duration
 	// MaxMessagesPerToken bounds broadcasts per token visit (flow control).
 	MaxMessagesPerToken int
+	// Obs receives token-circulation and safe-delivery trace events and
+	// registers this node's counters. A nil recorder disables instrumentation
+	// at no cost. Optional.
+	Obs *obs.Recorder
+}
+
+// Validate checks cfg and fills defaults, returning the effective
+// configuration. Invalid settings (missing required fields, negative
+// timeouts) are reported as errors instead of silently misbehaving.
+func (c Config) Validate() (Config, error) {
+	if c.Runtime == nil {
+		return c, errors.New("totem: Config.Runtime is required")
+	}
+	if c.Transport == nil {
+		return c, errors.New("totem: Config.Transport is required")
+	}
+	if c.Deliver == nil {
+		return c, errors.New("totem: Config.Deliver is required")
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"TokenLossTimeout", c.TokenLossTimeout},
+		{"TokenRetransTimeout", c.TokenRetransTimeout},
+		{"JoinTimeout", c.JoinTimeout},
+		{"CommitTimeout", c.CommitTimeout},
+		{"AnnounceInterval", c.AnnounceInterval},
+	} {
+		if d.v < 0 {
+			return c, fmt.Errorf("totem: Config.%s must not be negative (got %v)", d.name, d.v)
+		}
+	}
+	if c.MaxMessagesPerToken < 0 {
+		return c, fmt.Errorf("totem: Config.MaxMessagesPerToken must not be negative (got %d)", c.MaxMessagesPerToken)
+	}
+	if c.Quorum < 0 {
+		return c, fmt.Errorf("totem: Config.Quorum must not be negative (got %d)", c.Quorum)
+	}
+	c.TokenLossTimeout = defaultDuration(c.TokenLossTimeout, defaultTokenLoss)
+	c.TokenRetransTimeout = defaultDuration(c.TokenRetransTimeout, defaultTokenRetrans)
+	c.JoinTimeout = defaultDuration(c.JoinTimeout, defaultJoinTimeout)
+	c.CommitTimeout = defaultDuration(c.CommitTimeout, defaultCommitTimeout)
+	c.AnnounceInterval = defaultDuration(c.AnnounceInterval, defaultAnnounce)
+	if c.MaxMessagesPerToken == 0 {
+		c.MaxMessagesPerToken = defaultMaxPerToken
+	}
+	return c, nil
 }
 
 type nodeState int
@@ -149,26 +198,17 @@ type Node struct {
 	heldRegular []*DataMsg
 
 	stats Stats
+	obs   *obs.Recorder
+	// safeWaitSeq is the message sequence currently blocked on the safe
+	// point, for the safe_wait/safe_delivered trace pair.
+	safeWaitSeq uint64
 }
 
 // New creates a node. It does not start protocol activity; call Start.
 func New(cfg Config) (*Node, error) {
-	if cfg.Runtime == nil {
-		return nil, errors.New("totem: Config.Runtime is required")
-	}
-	if cfg.Transport == nil {
-		return nil, errors.New("totem: Config.Transport is required")
-	}
-	if cfg.Deliver == nil {
-		return nil, errors.New("totem: Config.Deliver is required")
-	}
-	cfg.TokenLossTimeout = defaultDuration(cfg.TokenLossTimeout, defaultTokenLoss)
-	cfg.TokenRetransTimeout = defaultDuration(cfg.TokenRetransTimeout, defaultTokenRetrans)
-	cfg.JoinTimeout = defaultDuration(cfg.JoinTimeout, defaultJoinTimeout)
-	cfg.CommitTimeout = defaultDuration(cfg.CommitTimeout, defaultCommitTimeout)
-	cfg.AnnounceInterval = defaultDuration(cfg.AnnounceInterval, defaultAnnounce)
-	if cfg.MaxMessagesPerToken <= 0 {
-		cfg.MaxMessagesPerToken = defaultMaxPerToken
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
 	}
 	me := cfg.Transport.LocalID()
 	members := sortedNodes(cfg.Members)
@@ -189,7 +229,9 @@ func New(cfg Config) (*Node, error) {
 		received:     make(map[uint64]*DataMsg),
 		receivedKeys: make(map[uint64]bool),
 		oldHold:      make(map[uint64]*DataMsg),
+		obs:          cfg.Obs,
 	}
+	cfg.Obs.Register(n)
 	cfg.Transport.SetReceiver(n.receive)
 	return n, nil
 }
@@ -304,7 +346,29 @@ func (n *Node) InPrimary() bool { return n.primary }
 
 // StatsSnapshot returns cumulative protocol counters. Must be called on the
 // runtime loop.
+//
+// Deprecated: register an obs.Recorder via Config.Obs and gather the
+// counters through the obs.Source registry instead; this accessor remains
+// for existing tests and tools.
 func (n *Node) StatsSnapshot() Stats { return n.stats }
+
+// ObsNode implements obs.Source.
+func (n *Node) ObsNode() uint32 { return uint32(n.me) }
+
+// ObsSamples implements obs.Source under the canonical totem.* names.
+// Loop-only, like StatsSnapshot.
+func (n *Node) ObsSamples() []obs.Sample {
+	id := uint32(n.me)
+	return []obs.Sample{
+		{Node: id, Name: "totem.tokens_handled", Value: n.stats.TokensHandled},
+		{Node: id, Name: "totem.broadcasts", Value: n.stats.Broadcasts},
+		{Node: id, Name: "totem.retransmissions", Value: n.stats.Retransmissions},
+		{Node: id, Name: "totem.delivered", Value: n.stats.Delivered},
+		{Node: id, Name: "totem.memberships", Value: n.stats.Memberships},
+		{Node: id, Name: "totem.token_retrans", Value: n.stats.TokenRetrans},
+		{Node: id, Name: "totem.token_losses", Value: n.stats.TokenLosses},
+	}
+}
 
 // receive is the transport receiver: it copies the datagram and hops onto
 // the runtime loop.
@@ -364,6 +428,7 @@ func (n *Node) onToken(tk *Token) {
 	}
 	n.lastTokenSeq = tk.TokenSeq
 	n.stats.TokensHandled++
+	n.obs.Trace(obs.ScopeTotem, obs.EvTokenRecv, 0, tk.TokenSeq, int64(tk.Aru), "")
 	if n.cfg.OnToken != nil {
 		n.cfg.OnToken(*tk)
 	}
@@ -519,8 +584,19 @@ func (n *Node) tryDeliver() {
 		if !ok {
 			return
 		}
-		if (m.Safe || n.cfg.Mode == Safe) && s > n.safePoint {
+		safe := m.Safe || n.cfg.Mode == Safe
+		if safe && s > n.safePoint {
+			if n.safeWaitSeq != s {
+				// First time this sequence blocks on the safe point: open the
+				// safe-delivery wait sub-span (the paper's ≈300µs extra token
+				// circulation, §4.3).
+				n.safeWaitSeq = s
+				n.obs.Trace(obs.ScopeTotem, obs.EvSafeWait, 0, s, int64(n.safePoint), "")
+			}
 			return
+		}
+		if safe && n.safeWaitSeq == s {
+			n.obs.Trace(obs.ScopeTotem, obs.EvSafeDelivered, 0, s, int64(n.safePoint), "")
 		}
 		n.delivered = s
 		n.handleDelivered(m)
