@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench loadtest
 
-# check is the CI gate: formatting, vet, build, and the race-enabled tests.
-check: fmt vet build race
+# check is the CI gate: formatting, vet, build, the race-enabled tests, and
+# the timeserve load smoke.
+check: fmt vet build race loadtest
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -25,3 +26,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/ctsbench -exp fig5 -trace fig5.trace.jsonl -json BENCH_fig5.json
+
+# loadtest smokes the external time-serving plane: a race-enabled in-process
+# three-replica group must sustain 100k queries/s with zero staleness-bound
+# violations and zero group-clock regressions. Writes BENCH_timeserve.json.
+loadtest:
+	$(GO) run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve.json

@@ -22,4 +22,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== ctsbench fig5 (BENCH_fig5.json) =="
+go run ./cmd/ctsbench -exp fig5 -trace fig5.trace.jsonl -json BENCH_fig5.json
+
+echo "== ctsload smoke (BENCH_timeserve.json) =="
+go run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve.json
+
 echo "CI checks passed."

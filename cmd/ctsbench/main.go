@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,21 +24,67 @@ import (
 
 	"cts"
 	"cts/internal/experiment"
+	"cts/internal/stats"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (fig1|fig5|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
-		seed  = flag.Int64("seed", 2003, "simulation seed")
-		full  = flag.Bool("full", false, "run at the paper's full sizes (10,000 invocations)")
-		trace = flag.String("trace", "fig5.trace.jsonl", "write the fig5 CCS round trace to this file as JSON lines (empty disables)")
+		exp     = flag.String("exp", "all", "experiment to run (fig1|fig5|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
+		seed    = flag.Int64("seed", 2003, "simulation seed")
+		full    = flag.Bool("full", false, "run at the paper's full sizes (10,000 invocations)")
+		trace   = flag.String("trace", "fig5.trace.jsonl", "write the fig5 CCS round trace to this file as JSON lines (empty disables)")
+		jsonOut = flag.String("json", "BENCH_fig5.json", "write the fig5 latency summary to this file as JSON (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *seed, *full, *trace); err != nil {
+	if err := run(*exp, *seed, *full, *trace, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// latencySummary is one JSON latency record of the fig5 benchmark file.
+type latencySummary struct {
+	N      int     `json:"n"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+}
+
+func summarize(d *stats.Durations) latencySummary {
+	us := func(v time.Duration) float64 { return float64(v) / float64(time.Microsecond) }
+	return latencySummary{
+		N:      d.N(),
+		MeanUS: us(d.Mean()),
+		P50US:  us(d.Percentile(50)),
+		P99US:  us(d.Percentile(99)),
+		P999US: us(d.Percentile(99.9)),
+	}
+}
+
+// writeFig5JSON exports the Figure 5 latency distributions for CI tracking.
+func writeFig5JSON(path string, seed int64, invocations int, res *experiment.Figure5Result) error {
+	out := struct {
+		Experiment  string         `json:"experiment"`
+		Seed        int64          `json:"seed"`
+		Invocations int            `json:"invocations"`
+		With        latencySummary `json:"with_cts"`
+		Without     latencySummary `json:"without_cts"`
+		OverheadUS  float64        `json:"overhead_us"`
+	}{
+		Experiment:  "fig5",
+		Seed:        seed,
+		Invocations: invocations,
+		With:        summarize(&res.With),
+		Without:     summarize(&res.Without),
+		OverheadUS:  float64(res.Overhead()) / float64(time.Microsecond),
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // withSummary appends an observability summary to an experiment's rendering.
@@ -89,13 +136,14 @@ func runFig5Traced(seed int64, invocations int, traceFile string) (interface{ Re
 	return withSummary{inner: res, extra: extra}, nil
 }
 
-func run(exp string, seed int64, full bool, trace string) error {
+func run(exp string, seed int64, full bool, trace, jsonOut string) error {
 	invocations := 1000
 	ops := 1000
 	if full {
 		invocations = 10000
 		ops = 10000
 	}
+	var fig5 *experiment.Figure5Result
 
 	type runner struct {
 		name string
@@ -107,9 +155,15 @@ func run(exp string, seed int64, full bool, trace string) error {
 		}},
 		{"fig5", func() (interface{ Render() string }, error) {
 			if trace == "" {
-				return experiment.RunFigure5(seed, invocations)
+				res, err := experiment.RunFigure5(seed, invocations)
+				fig5 = res
+				return res, err
 			}
-			return runFig5Traced(seed, invocations, trace)
+			res, err := runFig5Traced(seed, invocations, trace)
+			if w, ok := res.(withSummary); ok {
+				fig5 = w.inner.(*experiment.Figure5Result)
+			}
+			return res, err
 		}},
 		{"fig6", func() (interface{ Render() string }, error) {
 			return experiment.RunFigure6(seed, ops, 20)
@@ -158,6 +212,12 @@ func run(exp string, seed int64, full bool, trace string) error {
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if fig5 != nil && jsonOut != "" {
+		if err := writeFig5JSON(jsonOut, seed, invocations, fig5); err != nil {
+			return fmt.Errorf("write %s: %w", jsonOut, err)
+		}
+		fmt.Printf("fig5 latency summary -> %s\n", jsonOut)
 	}
 	return nil
 }

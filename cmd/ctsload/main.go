@@ -1,0 +1,455 @@
+// Command ctsload drives the external time-serving frontend (internal/
+// timeserve) with a closed- or open-loop query load and verifies the lease
+// plane's correctness guarantees while measuring throughput and latency
+// (p50/p99/p999).
+//
+// Against a running group:
+//
+//	ctsload -targets 127.0.0.1:4460,127.0.0.1:4461,127.0.0.1:4462 -duration 10s
+//
+// Self-contained smoke run (starts a 3-replica group in-process; this is
+// what `make loadtest` runs):
+//
+//	ctsload -inprocess -duration 5s -min-qps 100000
+//
+// Each worker keeps its own UDP client and batches -batch queries per
+// datagram. Two invariants are checked on every response, using only
+// happened-before ordering (no global clock):
+//
+//   - staleness: a reading's interval [group−bound, group+bound] must reach
+//     the highest lower bound of any reading that completed before this one
+//     was sent — otherwise the advertised bound lies.
+//   - per-replica monotonicity: a replica's group clock must never run
+//     backwards between two of its responses ordered by the client.
+//
+// The run fails (exit 1) on any violation, or when -min-qps is set and not
+// met. -json writes a machine-readable result (default BENCH_timeserve.json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cts"
+	"cts/internal/stats"
+	"cts/internal/timeserve"
+	"cts/internal/transport"
+	"cts/internal/udptransport"
+
+	"cts/internal/sim"
+)
+
+func main() {
+	var (
+		targets   = flag.String("targets", "", "comma-separated timeserve addresses of the replica group")
+		inprocess = flag.Bool("inprocess", false, "start a local 3-replica group and load it (ignores -targets)")
+		replicas  = flag.Int("replicas", 3, "replica count for -inprocess")
+		shards    = flag.Int("shards", 1, "timeserve shards per in-process replica")
+		lease     = flag.Duration("lease", time.Second, "lease window for -inprocess replicas")
+		mode      = flag.String("mode", "closed", "load mode: closed (max rate) or open (paced by -rate)")
+		rate      = flag.Float64("rate", 50000, "total target queries/s for -mode open")
+		workers   = flag.Int("workers", 4, "concurrent load workers")
+		batch     = flag.Int("batch", 8, "queries per datagram (1..64)")
+		duration  = flag.Duration("duration", 5*time.Second, "measurement duration")
+		minQPS    = flag.Float64("min-qps", 0, "fail unless sustained queries/s reaches this (0 disables)")
+		jsonOut   = flag.String("json", "BENCH_timeserve.json", "write machine-readable results here (empty disables)")
+	)
+	flag.Parse()
+	if err := run(config{
+		targets: *targets, inprocess: *inprocess, replicas: *replicas,
+		shards: *shards, lease: *lease, mode: *mode, rate: *rate,
+		workers: *workers, batch: *batch, duration: *duration,
+		minQPS: *minQPS, jsonOut: *jsonOut,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "ctsload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	targets   string
+	inprocess bool
+	replicas  int
+	shards    int
+	lease     time.Duration
+	mode      string
+	rate      float64
+	workers   int
+	batch     int
+	duration  time.Duration
+	minQPS    float64
+	jsonOut   string
+}
+
+// checker verifies the lease invariants across all workers. Both checks use
+// only happened-before ordering: a floor value is compared against a
+// response only when the floor was recorded BEFORE that response's request
+// was sent, so the server-side read it reflects strictly preceded ours.
+// Comparing responses by receipt order across workers would be unsound —
+// receipt order is not generation order.
+type checker struct {
+	// lowerFloor is the highest (group − bound) of any completed reading:
+	// readings sent after that completion must advertise intervals reaching
+	// it.
+	lowerFloor atomic.Int64
+	// nodes holds one served-clock floor per replica, for the per-replica
+	// regression check. The entry list only grows; workers snapshot it
+	// lock-free via the atomic pointer.
+	mu       sync.Mutex
+	nodeList atomic.Pointer[[]nodeEntry]
+
+	stalenessViolations  atomic.Uint64
+	regressionViolations atomic.Uint64
+}
+
+type nodeEntry struct {
+	node  uint32
+	clock *atomic.Int64
+}
+
+// snapshot is a worker-local pre-send view of every floor. Buffers are
+// reused across exchanges.
+type snapshot struct {
+	floor   int64
+	entries []nodeEntry
+	clocks  []int64
+}
+
+// preSend records the floors a subsequent response must respect.
+func (c *checker) preSend(s *snapshot) {
+	s.floor = c.lowerFloor.Load()
+	s.entries = nil
+	if p := c.nodeList.Load(); p != nil {
+		s.entries = *p
+	}
+	s.clocks = s.clocks[:0]
+	for _, e := range s.entries {
+		s.clocks = append(s.clocks, e.clock.Load())
+	}
+}
+
+func (c *checker) nodeFloor(node uint32) *atomic.Int64 {
+	if p := c.nodeList.Load(); p != nil {
+		for _, e := range *p {
+			if e.node == node {
+				return e.clock
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var entries []nodeEntry
+	if p := c.nodeList.Load(); p != nil {
+		entries = *p
+		for _, e := range entries {
+			if e.node == node {
+				return e.clock
+			}
+		}
+	}
+	clock := new(atomic.Int64)
+	grown := append(append([]nodeEntry(nil), entries...), nodeEntry{node: node, clock: clock})
+	c.nodeList.Store(&grown)
+	return clock
+}
+
+// onResponse validates one leased response against the pre-send snapshot
+// and folds it into the floors.
+func (c *checker) onResponse(r timeserve.Response, pre *snapshot) {
+	g, b := int64(r.Group), int64(r.Bound)
+	if g+b < pre.floor {
+		c.stalenessViolations.Add(1)
+	}
+	for i, e := range pre.entries {
+		if e.node == r.Node {
+			if g < pre.clocks[i] {
+				c.regressionViolations.Add(1)
+			}
+			break
+		}
+	}
+	nf := c.nodeFloor(r.Node)
+	for {
+		prev := nf.Load()
+		if g <= prev {
+			break
+		}
+		if nf.CompareAndSwap(prev, g) {
+			break
+		}
+	}
+	for {
+		prev := c.lowerFloor.Load()
+		if g-b <= prev {
+			break
+		}
+		if c.lowerFloor.CompareAndSwap(prev, g-b) {
+			break
+		}
+	}
+}
+
+// result is the machine-readable run record.
+type result struct {
+	Mode       string  `json:"mode"`
+	Targets    int     `json:"targets"`
+	Workers    int     `json:"workers"`
+	Batch      int     `json:"batch"`
+	DurationS  float64 `json:"duration_s"`
+	Queries    uint64  `json:"queries"`
+	QPS        float64 `json:"qps"`
+	Errors     uint64  `json:"errors"`
+	Violations struct {
+		Staleness  uint64 `json:"staleness"`
+		Regression uint64 `json:"regression"`
+	} `json:"violations"`
+	LatencyUS struct {
+		P50  float64 `json:"p50"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+	} `json:"latency_us"`
+}
+
+func run(cfg config) error {
+	if cfg.batch < 1 || cfg.batch > timeserve.MaxBatch {
+		return fmt.Errorf("-batch %d outside [1, %d]", cfg.batch, timeserve.MaxBatch)
+	}
+	if cfg.mode != "closed" && cfg.mode != "open" {
+		return fmt.Errorf("unknown -mode %q (want closed or open)", cfg.mode)
+	}
+	var targets []string
+	if cfg.inprocess {
+		group, err := startGroup(cfg.replicas, cfg.shards, cfg.lease)
+		if err != nil {
+			return err
+		}
+		defer group.stop()
+		targets = group.targets
+	} else {
+		if cfg.targets == "" {
+			return fmt.Errorf("-targets or -inprocess is required")
+		}
+		targets = strings.Split(cfg.targets, ",")
+	}
+
+	fmt.Printf("ctsload: %s loop, %d workers x batch %d against %d target(s) for %v\n",
+		cfg.mode, cfg.workers, cfg.batch, len(targets), cfg.duration)
+
+	chk := &checker{}
+	var (
+		queries atomic.Uint64
+		errs    atomic.Uint64
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		lats    = make([]*stats.Durations, cfg.workers)
+	)
+	for w := 0; w < cfg.workers; w++ {
+		lats[w] = &stats.Durations{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := timeserve.NewClient(timeserve.ClientConfig{
+				Targets: rotated(targets, w),
+				Timeout: 250 * time.Millisecond,
+			})
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer cli.Close()
+			interval := time.Duration(0)
+			if cfg.mode == "open" && cfg.rate > 0 {
+				perWorker := cfg.rate / float64(cfg.workers)
+				interval = time.Duration(float64(cfg.batch) / perWorker * float64(time.Second))
+			}
+			next := time.Now()
+			var pre snapshot
+			for !stop.Load() {
+				if interval > 0 {
+					next = next.Add(interval)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				chk.preSend(&pre)
+				t0 := time.Now()
+				resps, err := cli.QueryBatch(cfg.batch)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				lats[w].Add(time.Since(t0))
+				queries.Add(uint64(len(resps)))
+				for _, r := range resps {
+					chk.onResponse(r, &pre)
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := &stats.Durations{}
+	for _, d := range lats {
+		for _, v := range d.Values() {
+			all.Add(v)
+		}
+	}
+	var res result
+	res.Mode = cfg.mode
+	res.Targets = len(targets)
+	res.Workers = cfg.workers
+	res.Batch = cfg.batch
+	res.DurationS = elapsed.Seconds()
+	res.Queries = queries.Load()
+	res.QPS = float64(res.Queries) / elapsed.Seconds()
+	res.Errors = errs.Load()
+	res.Violations.Staleness = chk.stalenessViolations.Load()
+	res.Violations.Regression = chk.regressionViolations.Load()
+	if all.N() > 0 {
+		res.LatencyUS.P50 = float64(all.Percentile(50)) / float64(time.Microsecond)
+		res.LatencyUS.P99 = float64(all.Percentile(99)) / float64(time.Microsecond)
+		res.LatencyUS.P999 = float64(all.Percentile(99.9)) / float64(time.Microsecond)
+	}
+
+	fmt.Printf("ctsload: %d queries in %v = %.0f queries/s (%d errors)\n",
+		res.Queries, elapsed.Round(time.Millisecond), res.QPS, res.Errors)
+	fmt.Printf("ctsload: latency per batched exchange p50=%.0fµs p99=%.0fµs p999=%.0fµs (%d samples)\n",
+		res.LatencyUS.P50, res.LatencyUS.P99, res.LatencyUS.P999, all.N())
+	fmt.Printf("ctsload: violations: staleness=%d regression=%d\n",
+		res.Violations.Staleness, res.Violations.Regression)
+
+	if cfg.jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("ctsload: wrote %s\n", cfg.jsonOut)
+	}
+
+	if res.Violations.Staleness > 0 || res.Violations.Regression > 0 {
+		return fmt.Errorf("lease invariants violated (staleness=%d regression=%d)",
+			res.Violations.Staleness, res.Violations.Regression)
+	}
+	if cfg.minQPS > 0 && res.QPS < cfg.minQPS {
+		return fmt.Errorf("sustained %.0f queries/s below -min-qps %.0f", res.QPS, cfg.minQPS)
+	}
+	return nil
+}
+
+// rotated returns targets rotated by w, spreading workers across replicas.
+func rotated(targets []string, w int) []string {
+	n := len(targets)
+	out := make([]string, n)
+	for i := range targets {
+		out[i] = targets[(i+w)%n]
+	}
+	return out
+}
+
+// group is an in-process replica group for self-contained load runs.
+type group struct {
+	svcs    []*cts.Service
+	loops   []*sim.Loop
+	trs     []*udptransport.Transport
+	targets []string
+}
+
+// startGroup brings up n actively replicated ctsnode-equivalents on
+// loopback, each with the timeserve frontend on an ephemeral port, and
+// waits until every replica holds a lease.
+func startGroup(n, shards int, lease time.Duration) (*group, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("-replicas must be at least 2, got %d", n)
+	}
+	g := &group{}
+	ring := make([]transport.NodeID, n)
+	for i := 0; i < n; i++ {
+		ring[i] = transport.NodeID(i + 1)
+	}
+	for _, id := range ring {
+		tr, err := udptransport.New(id, "127.0.0.1:0")
+		if err != nil {
+			g.stop()
+			return nil, err
+		}
+		g.trs = append(g.trs, tr)
+	}
+	for i, tr := range g.trs {
+		for j, other := range g.trs {
+			if i == j {
+				continue
+			}
+			if err := tr.SetPeer(ring[j], other.LocalAddr()); err != nil {
+				g.stop()
+				return nil, err
+			}
+		}
+	}
+	for i, tr := range g.trs {
+		loop := sim.NewLoop()
+		g.loops = append(g.loops, loop)
+		svc, err := cts.New(
+			cts.WithRuntime(loop),
+			cts.WithTransport(tr),
+			cts.WithRingMembers(ring),
+			cts.WithTimeServe(cts.TimeServeConfig{
+				Addr:        "127.0.0.1:0",
+				Shards:      shards,
+				LeaseWindow: lease,
+			}),
+		)
+		if err != nil {
+			g.stop()
+			return nil, err
+		}
+		if err := svc.Start(); err != nil {
+			g.stop()
+			return nil, err
+		}
+		g.svcs = append(g.svcs, svc)
+		g.targets = append(g.targets, svc.TimeServeAddr())
+		_ = i
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, svc := range g.svcs {
+		for {
+			if _, ok := svc.LeaseRead(); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				g.stop()
+				return nil, fmt.Errorf("in-process group failed to establish leases within 10s")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fmt.Printf("ctsload: in-process group up: %d replicas, targets %s\n",
+		len(g.targets), strings.Join(g.targets, ","))
+	return g, nil
+}
+
+func (g *group) stop() {
+	for _, svc := range g.svcs {
+		svc.Stop()
+	}
+	for _, loop := range g.loops {
+		loop.Close()
+	}
+	for _, tr := range g.trs {
+		tr.Close()
+	}
+}

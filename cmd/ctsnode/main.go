@@ -40,12 +40,34 @@ func main() {
 		verbose   = flag.Bool("v", false, "log rounds and views as structured key=value lines")
 		traceFile = flag.String("trace", "", "write the CCS round trace to this file as JSON lines")
 		metrics   = flag.Duration("metrics", 0, "dump stack-wide metrics at this interval (0 disables)")
+
+		serve       = flag.String("serve", "", "serve external time queries on this UDP address (e.g. :4460; empty disables)")
+		serveShards = flag.Int("serve-shards", 0, "timeserve listener shards (0 = default 1)")
+		lease       = flag.Duration("lease", time.Second, "lease window for external reads between CCS rounds")
 	)
 	flag.Parse()
-	if err := run(uint32(*id), *peers, *style, *recover, *verbose, *traceFile, *metrics); err != nil {
+	if err := run(runConfig{
+		id: uint32(*id), peers: *peers, style: *style, recovering: *recover,
+		verbose: *verbose, traceFile: *traceFile, metricsEvery: *metrics,
+		serve: *serve, serveShards: *serveShards, lease: *lease,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsnode:", err)
 		os.Exit(1)
 	}
+}
+
+// runConfig carries the parsed flags.
+type runConfig struct {
+	id           uint32
+	peers        string
+	style        string
+	recovering   bool
+	verbose      bool
+	traceFile    string
+	metricsEvery time.Duration
+	serve        string
+	serveShards  int
+	lease        time.Duration
 }
 
 // parsePeers parses "0=127.0.0.1:9000,1=..." into a node→address map.
@@ -87,12 +109,13 @@ func parseStyle(s string) (cts.Style, error) {
 	}
 }
 
-func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool, traceFile string, metricsEvery time.Duration) error {
-	peers, err := parsePeers(peerSpec)
+func run(rc runConfig) error {
+	id, traceFile, metricsEvery := rc.id, rc.traceFile, rc.metricsEvery
+	peers, err := parsePeers(rc.peers)
 	if err != nil {
 		return err
 	}
-	style, err := parseStyle(styleSpec)
+	style, err := parseStyle(rc.style)
 	if err != nil {
 		return err
 	}
@@ -119,6 +142,13 @@ func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool, traceF
 	logger, err := cts.NewLogger(os.Stderr)
 	if err != nil {
 		return err
+	}
+	if rc.verbose {
+		recvBuf, sendBuf := tr.BufferSizes()
+		logger.Log("sockbuf",
+			cts.F("node", id),
+			cts.F("rcvbuf", recvBuf),
+			cts.F("sndbuf", sendBuf))
 	}
 	var sink cts.TraceSink
 	var jsink *cts.JSONLinesSink
@@ -147,10 +177,17 @@ func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool, traceF
 		cts.WithTransport(tr),
 		cts.WithRingMembers(ring),
 		cts.WithStyle(style),
-		cts.WithRecovering(recovering),
+		cts.WithRecovering(rc.recovering),
 		cts.WithObservability(rec),
 	}
-	if verbose {
+	if rc.serve != "" {
+		opts = append(opts, cts.WithTimeServe(cts.TimeServeConfig{
+			Addr:        rc.serve,
+			Shards:      rc.serveShards,
+			LeaseWindow: rc.lease,
+		}))
+	}
+	if rc.verbose {
 		opts = append(opts,
 			cts.WithOnStatus(func(st cts.Status) {
 				logger.Log("status",
@@ -182,6 +219,13 @@ func run(id uint32, peerSpec, styleSpec string, recovering, verbose bool, traceF
 		cts.F("style", style),
 		cts.F("ring", len(ring)),
 		cts.F("group", cts.DefaultGroup))
+	if ts := svc.TimeServe(); ts != nil {
+		logger.Log("timeserve",
+			cts.F("addr", ts.Addr()),
+			cts.F("shards", ts.Shards()),
+			cts.F("reuseport", ts.ReusePort()),
+			cts.F("lease", rc.lease))
+	}
 
 	if metricsEvery > 0 {
 		var dump func()

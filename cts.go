@@ -25,6 +25,7 @@ package cts
 import (
 	"errors"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"cts/internal/core"
@@ -33,6 +34,7 @@ import (
 	"cts/internal/obs"
 	"cts/internal/replication"
 	"cts/internal/sim"
+	"cts/internal/timeserve"
 	"cts/internal/transport"
 	"cts/internal/wire"
 )
@@ -84,7 +86,27 @@ type (
 	MemorySink = obs.MemorySink
 	// KV is one structured logging field.
 	KV = obs.KV
+
+	// LeaseConfig configures the core lease plane backing timeserve.
+	LeaseConfig = core.LeaseConfig
+	// LeaseReading is one leased group-clock read.
+	LeaseReading = core.LeaseReading
+	// TimeServeServer is the external UDP time-serving frontend.
+	TimeServeServer = timeserve.Server
+	// TimeServeClient queries the replica group's timeserve frontends with
+	// cached leases and retry-across-replicas.
+	TimeServeClient = timeserve.Client
+	// TimeServeClientConfig configures a TimeServeClient.
+	TimeServeClientConfig = timeserve.ClientConfig
+	// TimeServeReading is one reading returned to an external client.
+	TimeServeReading = timeserve.Reading
 )
+
+// NewTimeServeClient creates a client over the given replica timeserve
+// addresses.
+func NewTimeServeClient(cfg TimeServeClientConfig) (*TimeServeClient, error) {
+	return timeserve.NewClient(cfg)
+}
 
 // F builds a structured logging field.
 func F(k string, v any) KV { return obs.F(k, v) }
@@ -150,6 +172,8 @@ type options struct {
 	externalGain float64
 	agreedCCS    bool
 	onRound      func(RoundReport)
+
+	timeserve *TimeServeConfig
 
 	obs *obs.Recorder
 }
@@ -228,6 +252,37 @@ func WithOnRound(fn func(RoundReport)) Option { return func(o *options) { o.onRo
 // sink-less recorder, so Observability() and metrics always work.
 func WithObservability(r *Recorder) Option { return func(o *options) { o.obs = r } }
 
+// TimeServeConfig configures the external time-serving frontend enabled by
+// WithTimeServe.
+type TimeServeConfig struct {
+	// Addr is the UDP address the frontend listens on (e.g. ":4460",
+	// "127.0.0.1:0"). Required.
+	Addr string
+	// Shards is the number of listener shards (SO_REUSEPORT sockets on
+	// Linux). Default 1.
+	Shards int
+	// LeaseWindow is how long after a CCS adoption external reads may be
+	// answered from the lease. Default 1s.
+	LeaseWindow time.Duration
+	// DriftPPM widens the advertised staleness bound as the lease ages.
+	// Default 100 ppm (or the simulated clock's own drift if larger).
+	DriftPPM float64
+	// RefreshEvery is the cadence of the background lease-refresh CCS
+	// rounds keeping the lease alive between client-driven rounds.
+	// Default LeaseWindow/4. Negative disables the refresher (the caller
+	// drives RefreshLease itself).
+	RefreshEvery time.Duration
+	// RecvBuf and SendBuf size the shard sockets. Default 4 MiB.
+	RecvBuf, SendBuf int
+}
+
+// WithTimeServe enables the external time-serving frontend: Start enables
+// the core lease plane, binds the sharded UDP listeners, and keeps the lease
+// fresh with background refresh CCS rounds.
+func WithTimeServe(cfg TimeServeConfig) Option {
+	return func(o *options) { o.timeserve = &cfg }
+}
+
 // Service is one replica of a consistent-time server group.
 type Service struct {
 	mgr       *replication.Manager
@@ -235,6 +290,27 @@ type Service struct {
 	stack     *gcs.Stack
 	obs       *obs.Recorder
 	ownsStack bool
+
+	rt    sim.Runtime
+	tsCfg *TimeServeConfig
+	ts    *timeserve.Server
+
+	refreshTimer sim.Canceler // loop-only
+	refreshStop  atomic.Bool
+}
+
+// leaseSource adapts the core lease plane to the timeserve frontend.
+type leaseSource struct {
+	svc  *core.TimeService
+	node uint32
+}
+
+func (l leaseSource) LeaseRead() (timeserve.Reading, bool) {
+	r, ok := l.svc.LeaseRead()
+	if !ok {
+		return timeserve.Reading{}, false
+	}
+	return timeserve.Reading{GroupClock: r.GroupClock, Bound: r.Bound, Epoch: r.Epoch, Node: l.node}, true
 }
 
 // defaultApp answers CurrentTime with the group clock (big-endian uint64
@@ -342,11 +418,15 @@ func New(opts ...Option) (*Service, error) {
 	dapp.svc = svc
 	s.mgr = mgr
 	s.svc = svc
+	s.rt = o.runtime
+	s.tsCfg = o.timeserve
 	return s, nil
 }
 
 // Start joins the server group and, for a facade-built stack, begins ring
-// activity. Safe to call from any goroutine.
+// activity. With WithTimeServe it also enables the lease plane, binds the
+// serving frontend, and starts the background lease refresher. Safe to call
+// from any goroutine.
 func (s *Service) Start() error {
 	if err := s.mgr.Start(); err != nil {
 		return err
@@ -354,16 +434,101 @@ func (s *Service) Start() error {
 	if s.ownsStack {
 		s.stack.Start()
 	}
+	if s.tsCfg != nil {
+		if err := s.startTimeServe(*s.tsCfg); err != nil {
+			s.Stop()
+			return err
+		}
+	}
 	return nil
 }
 
-// Stop leaves the group and, for a facade-built stack, halts the ring.
+// startTimeServe brings up the serving plane of WithTimeServe.
+func (s *Service) startTimeServe(cfg TimeServeConfig) error {
+	if cfg.LeaseWindow == 0 {
+		cfg.LeaseWindow = time.Second
+	}
+	if err := s.svc.EnableLease(core.LeaseConfig{
+		Window:   cfg.LeaseWindow,
+		DriftPPM: cfg.DriftPPM,
+	}); err != nil {
+		return err
+	}
+	node := uint32(s.stack.LocalID())
+	srv, err := timeserve.Start(timeserve.Config{
+		Addr:    cfg.Addr,
+		Shards:  cfg.Shards,
+		Node:    node,
+		Source:  leaseSource{svc: s.svc, node: node},
+		RecvBuf: cfg.RecvBuf,
+		SendBuf: cfg.SendBuf,
+		Obs:     s.obs.ForNode(node),
+	})
+	if err != nil {
+		return err
+	}
+	s.ts = srv
+	every := cfg.RefreshEvery
+	if every == 0 {
+		every = cfg.LeaseWindow / 4
+	}
+	if every > 0 {
+		s.rt.Post(func() { s.refreshTick(every) })
+	}
+	return nil
+}
+
+// refreshTick drives the background lease-refresh rounds. Loop-only; the
+// chain re-arms itself until Stop.
+func (s *Service) refreshTick(every time.Duration) {
+	if s.refreshStop.Load() {
+		return
+	}
+	if s.mgr.Live() {
+		s.svc.RefreshLease()
+	}
+	s.refreshTimer = s.rt.After(every, func() { s.refreshTick(every) })
+}
+
+// Stop leaves the group, halts the serving frontend and refresher, and, for
+// a facade-built stack, halts the ring.
 func (s *Service) Stop() {
+	s.refreshStop.Store(true)
+	s.rt.Post(func() {
+		if s.refreshTimer != nil {
+			s.refreshTimer.Cancel()
+		}
+	})
+	if s.ts != nil {
+		s.ts.Close()
+		s.ts = nil
+	}
 	s.mgr.Stop()
 	if s.ownsStack {
 		s.stack.Stop()
 	}
 }
+
+// TimeServe exposes the serving frontend (nil without WithTimeServe or
+// before Start).
+func (s *Service) TimeServe() *TimeServeServer { return s.ts }
+
+// TimeServeAddr reports the frontend's bound UDP address ("" when not
+// serving). Useful with ":0".
+func (s *Service) TimeServeAddr() string {
+	if s.ts == nil {
+		return ""
+	}
+	return s.ts.Addr().String()
+}
+
+// LeaseRead answers one external read from the replica's current lease.
+// Safe from any goroutine; ok=false when no valid lease is held.
+func (s *Service) LeaseRead() (LeaseReading, bool) { return s.svc.LeaseRead() }
+
+// RefreshLease starts a lease-refresh CCS round unless one is in flight.
+// Safe from any goroutine.
+func (s *Service) RefreshLease() { s.svc.RefreshLease() }
 
 // Clock returns the interposition facade bound to a logical thread context.
 func (s *Service) Clock(ctx *Ctx) *Clock { return s.svc.Clock(ctx) }

@@ -28,8 +28,9 @@ func main() {
 			{Offset: 0},
 			{Offset: 2 * time.Second},
 		},
-		Style: replication.Active,
-		Mode:  experiment.ModeCTS,
+		Style:   replication.Active,
+		Mode:    experiment.ModeCTS,
+		Observe: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -80,8 +81,10 @@ func main() {
 		after >= before, before)
 	var specials uint64
 	cluster.K.Post(func() {
-		for _, svc := range cluster.Svcs {
-			specials += svc.StatsSnapshot().SpecialRounds
+		for _, s := range cluster.Obs.Samples() {
+			if s.Name == "core.special_rounds" {
+				specials += s.Value
+			}
 		}
 	})
 	cluster.K.RunFor(time.Millisecond)

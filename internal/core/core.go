@@ -209,6 +209,9 @@ type TimeService struct {
 	timerSeq uint64
 	firing   bool
 
+	// Lease plane for external reads between CCS rounds (lease.go).
+	lease leaseState
+
 	stats Stats
 	obs   *obs.Recorder
 }
@@ -387,6 +390,10 @@ func (s *TimeService) onCCS(msg wire.Message, meta gcs.Meta) {
 		s.deliverToHandler(&s.special, round, rm)
 		return
 	}
+	if p.ThreadID == RefreshThreadID {
+		s.deliverRefresh(round, rm)
+		return
+	}
 	h, ok := s.handlers[p.ThreadID]
 	if !ok {
 		// Lines 3–4 of Figure 3: no matching handler — the thread has not
@@ -475,6 +482,12 @@ func (s *TimeService) finishRound(h *ccsHandler, round uint64,
 	if round > h.round {
 		h.round = round
 	}
+	if initiated {
+		// physical is this replica's clock at proposal send; now is the
+		// ordered delivery. The difference bounds how far this adoption's
+		// anchor can sit from any other replica's for the same round.
+		s.noteOrderingLag(s.clock.Read() - physical)
+	}
 	grp := s.adoptGroupValue(rm, physical)
 	s.obs.Trace(obs.ScopeCore, obs.EvAdopted, h.threadID, round, int64(grp), "")
 	if s.cfg.OnRound != nil {
@@ -497,6 +510,7 @@ func (s *TimeService) adoptGroupValue(rm roundMsg, physical time.Duration) time.
 	if s.cfg.Compensation == CompMeanDelay {
 		s.offset += s.cfg.MeanDelay
 	}
+	s.publishLease(grp, physical)
 	return grp
 }
 
@@ -559,7 +573,7 @@ func (s *TimeService) ObsNode() uint32 { return uint32(s.mgr.LocalNode()) }
 // Loop-only.
 func (s *TimeService) ObsSamples() []obs.Sample {
 	id := uint32(s.mgr.LocalNode())
-	return []obs.Sample{
+	return append([]obs.Sample{
 		{Node: id, Name: "core.rounds_initiated", Value: s.stats.RoundsInitiated},
 		{Node: id, Name: "core.rounds_observed", Value: s.stats.RoundsObserved},
 		{Node: id, Name: "core.ccs_sent", Value: s.stats.CCSSent},
@@ -568,7 +582,7 @@ func (s *TimeService) ObsSamples() []obs.Sample {
 		{Node: id, Name: "core.special_rounds", Value: s.stats.SpecialRounds},
 		{Node: id, Name: "core.monotonicity_fixes", Value: s.stats.MonotonicityFixes},
 		{Node: id, Name: "core.timers_fired", Value: s.stats.TimersFired},
-	}
+	}, s.leaseObsSamples(id)...)
 }
 
 // Clock is the interposition facade standing in for the clock-related

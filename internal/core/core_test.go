@@ -7,6 +7,7 @@ import (
 
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
+	"cts/internal/obs"
 	"cts/internal/replication"
 	"cts/internal/rpc"
 	"cts/internal/sim"
@@ -73,6 +74,7 @@ type coreHarness struct {
 	t       *testing.T
 	k       *sim.Kernel
 	net     *simnet.Network
+	rec     *obs.Recorder
 	stacks  map[transport.NodeID]*gcs.Stack
 	mgrs    map[transport.NodeID]*replication.Manager
 	apps    map[transport.NodeID]*clockApp
@@ -83,16 +85,35 @@ type coreHarness struct {
 func newCoreHarness(t *testing.T, seed int64) *coreHarness {
 	t.Helper()
 	k := sim.NewKernel(seed)
+	rec, err := obs.New(obs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &coreHarness{
 		t:       t,
 		k:       k,
 		net:     simnet.NewNetwork(k, nil),
+		rec:     rec,
 		stacks:  make(map[transport.NodeID]*gcs.Stack),
 		mgrs:    make(map[transport.NodeID]*replication.Manager),
 		apps:    make(map[transport.NodeID]*clockApp),
 		svcs:    make(map[transport.NodeID]*TimeService),
 		reports: make(map[transport.NodeID][]RoundReport),
 	}
+}
+
+// counter reads one per-node counter from the obs registry — the
+// replacement for the deprecated StatsSnapshot accessor in assertions.
+// Like StatsSnapshot it must run between kernel steps (sources gather on
+// the loop, which the kernel runs on this goroutine).
+func (h *coreHarness) counter(id transport.NodeID, name string) uint64 {
+	var v uint64
+	for _, s := range h.rec.Samples() {
+		if s.Node == uint32(id) && s.Name == name {
+			v += s.Value
+		}
+	}
+	return v
 }
 
 func (h *coreHarness) addStack(id transport.NodeID, ring []transport.NodeID, bootstrap bool) {
@@ -130,6 +151,7 @@ func (h *coreHarness) addReplica(id transport.NodeID, style replication.Style,
 	cfg := Config{
 		Manager: m,
 		Clock:   clock,
+		Obs:     h.rec.ForNode(uint32(id)),
 		OnRound: func(r RoundReport) {
 			h.reports[id] = append(h.reports[id], r)
 		},
@@ -251,7 +273,7 @@ func TestGroupClockMonotonicallyIncreasing(t *testing.T) {
 		}
 	}
 	for _, id := range []transport.NodeID{1, 2, 3} {
-		if n := h.svcs[id].StatsSnapshot().MonotonicityFixes; n != 0 {
+		if n := h.counter(id, "core.monotonicity_fixes"); n != 0 {
 			t.Fatalf("replica %v needed %d defensive monotonicity fixes", id, n)
 		}
 	}
@@ -288,9 +310,8 @@ func TestCCSDuplicateSuppressionOnWire(t *testing.T) {
 
 	var sent, suppressed uint64
 	for _, id := range []transport.NodeID{1, 2, 3} {
-		st := h.svcs[id].StatsSnapshot()
-		sent += st.CCSSent
-		suppressed += st.CCSSuppressed + st.FromBuffer
+		sent += h.counter(id, "core.ccs_sent")
+		suppressed += h.counter(id, "core.ccs_suppressed") + h.counter(id, "core.from_buffer")
 	}
 	// Every replica attempts one CCS per round (3n attempts); suppression
 	// and buffering must eliminate the large majority of duplicates, as in
@@ -309,18 +330,18 @@ func TestPassiveOnlyPrimarySendsCCS(t *testing.T) {
 	driveReads(t, h, client, 10)
 	h.k.RunFor(5 * time.Millisecond)
 
-	st1 := h.svcs[1].StatsSnapshot()
+	sent1, specials1 := h.counter(1, "core.ccs_sent"), h.counter(1, "core.special_rounds")
 	// 10 reads plus one special round per periodic checkpoint.
-	if want := 10 + st1.SpecialRounds; st1.CCSSent != want {
+	if want := 10 + specials1; sent1 != want {
 		t.Fatalf("primary sent %d CCS messages, want %d (10 reads + %d special rounds)",
-			st1.CCSSent, want, st1.SpecialRounds)
+			sent1, want, specials1)
 	}
 	for _, id := range []transport.NodeID{2, 3} {
-		if got := h.svcs[id].StatsSnapshot().CCSSent; got != 0 {
+		if got := h.counter(id, "core.ccs_sent"); got != 0 {
 			t.Fatalf("backup %v sent %d CCS messages", id, got)
 		}
 		// Backups observed the rounds and keep a current offset.
-		if h.svcs[id].StatsSnapshot().RoundsObserved == 0 {
+		if h.counter(id, "core.rounds_observed") == 0 {
 			t.Fatalf("backup %v observed no rounds", id)
 		}
 	}
@@ -356,8 +377,7 @@ func TestPassiveFailoverUsesBufferedCCS(t *testing.T) {
 		t.Fatalf("only %d/6 reads completed after failover", done)
 	}
 
-	st := h.svcs[2].StatsSnapshot()
-	if st.FromBuffer == 0 {
+	if h.counter(2, "core.from_buffer") == 0 {
 		t.Fatal("new primary did not consume buffered CCS messages during replay")
 	}
 	// Monotone across the failover: the first value after failover is not
@@ -390,11 +410,11 @@ func TestSemiActiveAllExecuteOnlyPrimarySends(t *testing.T) {
 		}
 	}
 	// Only the primary put CCS messages on the wire.
-	if got := h.svcs[1].StatsSnapshot().CCSSent; got == 0 {
+	if got := h.counter(1, "core.ccs_sent"); got == 0 {
 		t.Fatal("primary sent no CCS messages")
 	}
 	for _, id := range []transport.NodeID{2, 3} {
-		if got := h.svcs[id].StatsSnapshot().CCSSent; got != 0 {
+		if got := h.counter(id, "core.ccs_sent"); got != 0 {
 			t.Fatalf("semi-active backup %v sent %d CCS messages", id, got)
 		}
 	}
@@ -451,8 +471,8 @@ func TestRecoveringReplicaIntegratesNewClock(t *testing.T) {
 	if !ok {
 		t.Fatal("recovering replica never went live")
 	}
-	if h.svcs[1].StatsSnapshot().SpecialRounds == 0 &&
-		h.svcs[2].StatsSnapshot().SpecialRounds == 0 {
+	if h.counter(1, "core.special_rounds") == 0 &&
+		h.counter(2, "core.special_rounds") == 0 {
 		t.Fatal("no special round was taken for the state transfer")
 	}
 
@@ -637,6 +657,35 @@ func TestDeterministicClockTraces(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStatsRegistryParity pins the deprecated StatsSnapshot accessor to the
+// obs registry: every field must be reported under its canonical core.* name
+// with the same value. This is the one intentional remaining StatsSnapshot
+// call — all other assertions read the registry.
+func TestStatsRegistryParity(t *testing.T) {
+	h, client := standardSetup(t, 12, replication.Active)
+	driveReads(t, h, client, 20)
+	h.k.RunFor(10 * time.Millisecond)
+	for _, id := range []transport.NodeID{1, 2, 3} {
+		st := h.svcs[id].StatsSnapshot()
+		want := map[string]uint64{
+			"core.rounds_initiated":   st.RoundsInitiated,
+			"core.rounds_observed":    st.RoundsObserved,
+			"core.ccs_sent":           st.CCSSent,
+			"core.ccs_suppressed":     st.CCSSuppressed,
+			"core.from_buffer":        st.FromBuffer,
+			"core.special_rounds":     st.SpecialRounds,
+			"core.monotonicity_fixes": st.MonotonicityFixes,
+			"core.timers_fired":       st.TimersFired,
+		}
+		for name, w := range want {
+			if got := h.counter(id, name); got != w {
+				t.Errorf("replica %v: registry %s=%d but StatsSnapshot field=%d",
+					id, name, got, w)
+			}
 		}
 	}
 }

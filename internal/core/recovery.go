@@ -99,6 +99,12 @@ func (s *TimeService) restoreFromCheckpoint(extra []byte) {
 		}
 	}
 	for tid, round := range st.threadRounds {
+		if tid == RefreshThreadID {
+			if round > s.lease.refresh.round {
+				s.lease.refresh.round = round
+			}
+			continue
+		}
 		if h, ok := s.handlers[tid]; ok {
 			if round > h.round {
 				h.round = round
@@ -145,6 +151,17 @@ func (s *TimeService) encodeState() []byte {
 		}
 		if r > rounds[tid] {
 			rounds[tid] = r
+		}
+	}
+	// The lease refresh round rides the thread-round table under its
+	// reserved identifier, so a recovering replica skips refresh rounds
+	// the checkpoint already covers.
+	if r := s.lease.refresh.round; r > 0 {
+		if _, ok := rounds[RefreshThreadID]; !ok {
+			tids = append(tids, RefreshThreadID)
+		}
+		if r > rounds[RefreshThreadID] {
+			rounds[RefreshThreadID] = r
 		}
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })

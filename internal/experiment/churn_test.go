@@ -36,6 +36,7 @@ func TestChurnStress(t *testing.T) {
 		Replicas:      specs,
 		Style:         replication.Active,
 		Mode:          ModeCTS,
+		Observe:       true,
 		ClientTimeout: 2 * time.Second, // reads during total outage must not hang
 	})
 	if err != nil {
@@ -154,9 +155,9 @@ func TestChurnStress(t *testing.T) {
 	}
 	// No defensive monotonicity clamps were needed anywhere.
 	c.K.Post(func() {
-		for id, svc := range c.Svcs {
-			if f := svc.StatsSnapshot().MonotonicityFixes; f != 0 {
-				t.Errorf("replica %v needed %d monotonicity fixes", id, f)
+		for _, s := range c.Obs.Samples() {
+			if s.Name == "core.monotonicity_fixes" && s.Value != 0 {
+				t.Errorf("replica %d needed %d monotonicity fixes", s.Node, s.Value)
 			}
 		}
 	})

@@ -176,6 +176,7 @@ func RunMessageCounts(seed int64, ops int) (*MsgCountsResult, error) {
 		Replicas: testbedClocks(),
 		Style:    replication.Active,
 		Mode:     ModeCTS,
+		Observe:  true,
 	})
 	if err != nil {
 		return nil, err
@@ -198,10 +199,11 @@ func RunMessageCounts(seed int64, ops int) (*MsgCountsResult, error) {
 	c.K.RunFor(10 * time.Millisecond) // let straggler suppression settle
 	res := &MsgCountsResult{Rounds: ops, PerNode: make(map[transport.NodeID]uint64)}
 	c.K.Post(func() {
-		for id, svc := range c.Svcs {
-			st := svc.StatsSnapshot()
-			res.PerNode[id] = st.CCSSent
-			res.TotalSent += st.CCSSent
+		for _, s := range c.Obs.Samples() {
+			if s.Name == "core.ccs_sent" {
+				res.PerNode[transport.NodeID(s.Node)] += s.Value
+				res.TotalSent += s.Value
+			}
 		}
 	})
 	c.K.RunFor(time.Millisecond)
@@ -549,6 +551,7 @@ func RunRecovery(seed int64, newClockOffset time.Duration) (*RecoveryResult, err
 		Replicas: []ClockSpec{{Offset: 0}, {Offset: 2 * time.Second}},
 		Style:    replication.Active,
 		Mode:     ModeCTS,
+		Observe:  true,
 	})
 	if err != nil {
 		return nil, err
@@ -577,8 +580,11 @@ func RunRecovery(seed int64, newClockOffset time.Duration) (*RecoveryResult, err
 	}
 	res.After = c.Apps[id].Readings[0]
 	c.K.Post(func() {
-		res.SpecialRounds = c.Svcs[1].StatsSnapshot().SpecialRounds +
-			c.Svcs[2].StatsSnapshot().SpecialRounds
+		for _, s := range c.Obs.Samples() {
+			if s.Name == "core.special_rounds" && (s.Node == 1 || s.Node == 2) {
+				res.SpecialRounds += s.Value
+			}
+		}
 	})
 	c.K.RunFor(time.Millisecond)
 	// The newcomer's readings must equal the tail of an existing replica's.

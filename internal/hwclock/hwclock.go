@@ -84,6 +84,9 @@ func (c *SimClock) Read() time.Duration {
 // DriftPPM reports the clock's configured rate error.
 func (c *SimClock) DriftPPM() float64 { return c.driftPPM }
 
+// Granularity reports the quantum readings are truncated to.
+func (c *SimClock) Granularity() time.Duration { return c.granularity }
+
 // Offset reports the clock's configured initial phase offset.
 func (c *SimClock) Offset() time.Duration { return c.offset }
 
@@ -91,6 +94,25 @@ func (c *SimClock) Offset() time.Duration { return c.offset }
 func (c *SimClock) String() string {
 	return fmt.Sprintf("simclock(offset=%v drift=%+gppm gran=%v)",
 		c.offset, c.driftPPM, c.granularity)
+}
+
+// Granular is implemented by clocks that know their own read granularity.
+// Consumers that need a staleness bound (the timeserve lease plane) use it
+// to account for quantization error; clocks that do not implement it are
+// assumed µs-grained, like gettimeofday().
+type Granular interface {
+	Granularity() time.Duration
+}
+
+// GranularityOf reports clock's read granularity, defaulting to one
+// microsecond for clocks that do not expose one.
+func GranularityOf(clock Clock) time.Duration {
+	if g, ok := clock.(Granular); ok {
+		if d := g.Granularity(); d > 0 {
+			return d
+		}
+	}
+	return time.Microsecond
 }
 
 // SystemClock reads the machine's real clock, expressed as a duration since
@@ -102,6 +124,9 @@ func (SystemClock) Read() time.Duration {
 	ns := time.Now().UnixNano()
 	return time.Duration(ns - ns%int64(time.Microsecond))
 }
+
+// Granularity reports the µs quantum SystemClock truncates to.
+func (SystemClock) Granularity() time.Duration { return time.Microsecond }
 
 // ManualClock is a test clock whose value only changes when told to.
 // It is safe for concurrent use.

@@ -62,6 +62,10 @@ const (
 	EvAdopted = "adopted"
 	// EvReadDone marks the blocked thread resuming with the group clock.
 	EvReadDone = "read_done"
+	// EvLeaseInvalidated marks the lease plane discarding its snapshot on a
+	// membership change; Round carries the new lease epoch and Value the new
+	// view size.
+	EvLeaseInvalidated = "lease_invalidated"
 )
 
 // Sub-span events emitted by the totem layer (ScopeTotem). Round carries the

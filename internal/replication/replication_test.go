@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cts/internal/gcs"
+	"cts/internal/obs"
 	"cts/internal/rpc"
 	"cts/internal/sim"
 	"cts/internal/simnet"
@@ -57,6 +58,7 @@ type repHarness struct {
 	t      *testing.T
 	k      *sim.Kernel
 	net    *simnet.Network
+	rec    *obs.Recorder
 	stacks map[transport.NodeID]*gcs.Stack
 	mgrs   map[transport.NodeID]*Manager
 	apps   map[transport.NodeID]*counterApp
@@ -65,14 +67,32 @@ type repHarness struct {
 func newRepHarness(t *testing.T, seed int64) *repHarness {
 	t.Helper()
 	k := sim.NewKernel(seed)
+	rec, err := obs.New(obs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &repHarness{
 		t:      t,
 		k:      k,
 		net:    simnet.NewNetwork(k, nil),
+		rec:    rec,
 		stacks: make(map[transport.NodeID]*gcs.Stack),
 		mgrs:   make(map[transport.NodeID]*Manager),
 		apps:   make(map[transport.NodeID]*counterApp),
 	}
+}
+
+// counter reads one per-node counter from the obs registry, replacing the
+// deprecated StatsSnapshot accessor in assertions. Run it between kernel
+// steps, like the loop-only accessor it replaces.
+func (h *repHarness) counter(id transport.NodeID, name string) uint64 {
+	var v uint64
+	for _, s := range h.rec.Samples() {
+		if s.Node == uint32(id) && s.Name == name {
+			v += s.Value
+		}
+	}
+	return v
 }
 
 func (h *repHarness) addStack(id transport.NodeID, ring []transport.NodeID, bootstrap bool) *gcs.Stack {
@@ -101,6 +121,7 @@ func (h *repHarness) addReplica(id transport.NodeID, style Style, recovering boo
 		App:             app,
 		Recovering:      recovering,
 		CheckpointEvery: 3,
+		Obs:             h.rec.ForNode(uint32(id)),
 	})
 	if err != nil {
 		h.t.Fatal(err)
@@ -227,14 +248,10 @@ func TestActiveReplyDuplicateSuppression(t *testing.T) {
 	h.k.RunFor(10 * time.Millisecond) // let stragglers settle
 
 	var sent, suppressed uint64
-	h.k.Post(func() {
-		for _, id := range ring[1:] {
-			st := h.mgrs[id].StatsSnapshot()
-			sent += st.RepliesSent
-			suppressed += st.RepliesSuppressed
-		}
-	})
-	h.k.RunFor(time.Millisecond)
+	for _, id := range ring[1:] {
+		sent += h.counter(id, "repl.replies_sent")
+		suppressed += h.counter(id, "repl.replies_suppressed")
+	}
 	// 3 replicas × 50 invocations = 150 reply attempts. Suppression must
 	// remove a substantial share of the redundant replies (the paper's
 	// duplicate-suppression result: per round, every replica attempts one

@@ -1,0 +1,253 @@
+package timeserve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Targets are the replicas' timeserve addresses, in preference order.
+	// Required (non-empty).
+	Targets []string
+	// Timeout is the per-attempt response deadline. Default 250ms.
+	Timeout time.Duration
+	// Attempts is the total number of query attempts across replicas before
+	// giving up. Default 2 × len(Targets).
+	Attempts int
+	// CacheFor lets Now extrapolate a cached reading for this long before
+	// going back to the network. Zero disables caching (every Now queries).
+	CacheFor time.Duration
+	// DriftPPM is the assumed rate error of the client's local clock, used
+	// to widen the bound of extrapolated readings. Default 200 ppm.
+	DriftPPM float64
+}
+
+// Validate checks cfg and fills defaults.
+func (c ClientConfig) Validate() (ClientConfig, error) {
+	if len(c.Targets) == 0 {
+		return c, errors.New("timeserve: ClientConfig.Targets is required")
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 250 * time.Millisecond
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 2 * len(c.Targets)
+	}
+	if c.DriftPPM < 0 {
+		return c, fmt.Errorf("timeserve: ClientConfig.DriftPPM must not be negative (got %v)", c.DriftPPM)
+	}
+	if c.DriftPPM == 0 {
+		c.DriftPPM = 200
+	}
+	return c, nil
+}
+
+// ErrNoReplica is returned when every attempt timed out or was refused.
+var ErrNoReplica = errors.New("timeserve: no replica answered from a valid lease")
+
+// Client queries the replica group's timeserve frontends. It caches the last
+// leased reading and extrapolates it locally for up to CacheFor, falling
+// back to the network — and across replicas — when the cache is cold, the
+// lease epoch changes, or a replica refuses. Readings returned by one Client
+// never regress.
+//
+// A Client is NOT safe for concurrent use; create one per goroutine (they
+// are cheap: one UDP socket per contacted target).
+type Client struct {
+	cfg   ClientConfig
+	conns []*net.UDPConn // lazily dialed, index-aligned with cfg.Targets
+	cur   int            // preferred target
+	nonce uint64
+
+	cached   Response
+	cachedAt time.Time // monotonic anchor of the cached reading
+	hasCache bool
+	floor    time.Duration // monotone guard over returned readings
+
+	hits, misses uint64
+
+	rbuf []byte
+	wbuf []byte
+}
+
+// NewClient returns a client over the given replica targets.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:   cfg,
+		conns: make([]*net.UDPConn, len(cfg.Targets)),
+		rbuf:  make([]byte, MaxDatagram),
+		wbuf:  make([]byte, 0, MaxBatch*ReqSize),
+	}, nil
+}
+
+// Now returns the group clock. It serves from the cached lease when fresh
+// (widening the bound by the extrapolation drift), otherwise queries the
+// replicas.
+func (c *Client) Now() (Reading, error) {
+	if c.hasCache && c.cfg.CacheFor > 0 {
+		elapsed := time.Since(c.cachedAt)
+		if elapsed < c.cfg.CacheFor {
+			c.hits++
+			r := Reading{
+				GroupClock: c.cached.Group + elapsed,
+				Bound:      c.cached.Bound + time.Duration(float64(elapsed)*c.cfg.DriftPPM/1e6),
+				Epoch:      c.cached.Epoch,
+				Node:       c.cached.Node,
+			}
+			return c.monotone(r), nil
+		}
+	}
+	c.misses++
+	return c.Query()
+}
+
+// Query performs one network query, rotating across replicas on timeout or
+// stale refusal, and refreshes the cache.
+func (c *Client) Query() (Reading, error) {
+	resps, err := c.exchange(1)
+	if err != nil {
+		return Reading{}, err
+	}
+	r := resps[0]
+	c.cached = r
+	c.cachedAt = time.Now()
+	c.hasCache = true
+	return c.monotone(Reading{GroupClock: r.Group, Bound: r.Bound, Epoch: r.Epoch, Node: r.Node}), nil
+}
+
+// QueryBatch sends k queries in one datagram and returns the k leased
+// responses. Load generators use it to amortize the per-datagram syscall
+// cost. k must be in [1, MaxBatch].
+func (c *Client) QueryBatch(k int) ([]Response, error) {
+	if k < 1 || k > MaxBatch {
+		return nil, fmt.Errorf("timeserve: batch size %d outside [1, %d]", k, MaxBatch)
+	}
+	return c.exchange(k)
+}
+
+// CacheStats reports Now's cache hits and misses.
+func (c *Client) CacheStats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Invalidate drops the cached lease (e.g. after the caller learns of an
+// epoch change out of band).
+func (c *Client) Invalidate() { c.hasCache = false }
+
+// monotone clamps r so readings never regress, widening the bound by the
+// clamp distance (the earlier reading's interval still covers true time).
+func (c *Client) monotone(r Reading) Reading {
+	if r.GroupClock < c.floor {
+		r.Bound += c.floor - r.GroupClock
+		r.GroupClock = c.floor
+	} else {
+		c.floor = r.GroupClock
+	}
+	return r
+}
+
+// exchange runs the retry-across-replicas loop: one request datagram with k
+// queries, one response datagram back. A refusal (no valid lease at that
+// replica) or timeout rotates to the next target.
+func (c *Client) exchange(k int) ([]Response, error) {
+	var lastErr error = ErrNoReplica
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		resps, err := c.exchangeOnce(c.cur, k)
+		if err == nil {
+			return resps, nil
+		}
+		lastErr = err
+		c.cur = (c.cur + 1) % len(c.cfg.Targets)
+	}
+	return nil, lastErr
+}
+
+// errStale reports a replica that answered but holds no valid lease.
+var errStale = errors.New("timeserve: replica refused (no valid lease)")
+
+func (c *Client) exchangeOnce(target, k int) ([]Response, error) {
+	conn, err := c.conn(target)
+	if err != nil {
+		return nil, err
+	}
+	base := c.nonce
+	c.nonce += uint64(k)
+	c.wbuf = c.wbuf[:0]
+	for i := 0; i < k; i++ {
+		c.wbuf = AppendRequest(c.wbuf, Request{Nonce: base + uint64(i)})
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(c.wbuf); err != nil {
+		return nil, fmt.Errorf("timeserve: send to %s: %w", c.cfg.Targets[target], err)
+	}
+	for {
+		n, err := conn.Read(c.rbuf)
+		if err != nil {
+			return nil, fmt.Errorf("timeserve: read from %s: %w", c.cfg.Targets[target], err)
+		}
+		resps, ok := c.parseBatch(c.rbuf[:n], base, k)
+		if !ok {
+			continue // stray datagram from an earlier timed-out attempt
+		}
+		for _, r := range resps {
+			if !r.OK() {
+				return nil, errStale
+			}
+		}
+		return resps, nil
+	}
+}
+
+// parseBatch validates one response datagram against the attempt's nonce
+// window. It returns ok=false for datagrams belonging to other attempts.
+func (c *Client) parseBatch(b []byte, base uint64, k int) ([]Response, bool) {
+	if len(b) != k*RespSize {
+		return nil, false
+	}
+	resps := make([]Response, 0, k)
+	for off := 0; off < len(b); off += RespSize {
+		r, err := ParseResponse(b[off : off+RespSize])
+		if err != nil || r.Nonce < base || r.Nonce >= base+uint64(k) {
+			return nil, false
+		}
+		resps = append(resps, r)
+	}
+	return resps, true
+}
+
+// conn lazily dials the target's socket.
+func (c *Client) conn(i int) (*net.UDPConn, error) {
+	if c.conns[i] != nil {
+		return c.conns[i], nil
+	}
+	addr, err := net.ResolveUDPAddr("udp", c.cfg.Targets[i])
+	if err != nil {
+		return nil, fmt.Errorf("timeserve: resolve %s: %w", c.cfg.Targets[i], err)
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("timeserve: dial %s: %w", c.cfg.Targets[i], err)
+	}
+	c.conns[i] = conn
+	return conn, nil
+}
+
+// Close releases the client's sockets.
+func (c *Client) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package timeserve
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT, absent from the syscall package's exported
+// constants on linux/amd64 but stable in the kernel ABI since 3.9.
+const soReusePort = 0xf
+
+// reusePortAvailable reports whether this platform can bind several
+// listening sockets to one UDP address, giving each shard its own kernel
+// receive queue.
+const reusePortAvailable = true
+
+// reusePortControl is a net.ListenConfig.Control hook enabling SO_REUSEPORT
+// before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

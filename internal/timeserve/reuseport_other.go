@@ -1,0 +1,13 @@
+//go:build !linux
+
+package timeserve
+
+import "syscall"
+
+// This platform has no portable SO_REUSEPORT path; shards fall back to
+// sharing one socket (ReadFrom is safe for concurrent use).
+const reusePortAvailable = false
+
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return nil
+}

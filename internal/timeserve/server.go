@@ -1,0 +1,287 @@
+package timeserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cts/internal/obs"
+)
+
+// Reading is one leased group-clock value handed to an external client. The
+// true group clock at the moment of the read lies within
+// [GroupClock−Bound, GroupClock+Bound].
+type Reading struct {
+	GroupClock time.Duration
+	Bound      time.Duration
+	Epoch      uint64
+	Node       uint32 // replica that answered (zero for locally served reads)
+}
+
+// LeaseSource answers external reads from the replica's current lease.
+// core.TimeService.LeaseRead provides this (adapted by the cts facade); the
+// call must be safe from any goroutine and lock-free on the fast path, since
+// every shard invokes it per query.
+type LeaseSource interface {
+	LeaseRead() (Reading, bool)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the UDP listen address (e.g. ":4460", "127.0.0.1:0").
+	// Required.
+	Addr string
+	// Shards is the number of listener shards. On Linux each shard binds its
+	// own SO_REUSEPORT socket with a private kernel receive queue; elsewhere
+	// the shards share one socket. Default 1.
+	Shards int
+	// Node identifies this replica in responses.
+	Node uint32
+	// Source answers the queries. Required.
+	Source LeaseSource
+	// RecvBuf and SendBuf request socket buffer sizes (SO_RCVBUF/SO_SNDBUF)
+	// per shard socket. Default 4 MiB; the kernel may clamp.
+	RecvBuf, SendBuf int
+	// Obs registers the server's counters. Optional.
+	Obs *obs.Recorder
+}
+
+// Validate checks cfg and fills defaults.
+func (c Config) Validate() (Config, error) {
+	if c.Addr == "" {
+		return c, errors.New("timeserve: Config.Addr is required")
+	}
+	if c.Source == nil {
+		return c, errors.New("timeserve: Config.Source is required")
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("timeserve: Config.Shards must not be negative (got %d)", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.RecvBuf == 0 {
+		c.RecvBuf = 4 << 20
+	}
+	if c.SendBuf == 0 {
+		c.SendBuf = 4 << 20
+	}
+	return c, nil
+}
+
+// shard holds one listener's counters. Each shard writes only its own cache
+// lines; the padding keeps concurrent shards from false sharing.
+type shard struct {
+	queries       atomic.Uint64
+	leaseHit      atomic.Uint64
+	staleRejected atomic.Uint64
+	drops         atomic.Uint64
+	datagrams     atomic.Uint64
+	_             [88]byte
+}
+
+// Server serves the timeserve protocol off a replica's lease plane.
+type Server struct {
+	cfg       Config
+	conns     []net.PacketConn // distinct sockets (1 in fallback mode)
+	shards    []shard
+	wg        sync.WaitGroup
+	addr      net.Addr
+	start     time.Time
+	reuseport bool
+	closed    atomic.Bool
+}
+
+// Start binds the shards and begins serving. With Shards > 1 on Linux each
+// shard gets its own SO_REUSEPORT socket; if per-shard binding is
+// unavailable the shards share the first socket.
+func Start(cfg Config) (*Server, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, shards: make([]shard, cfg.Shards), start: time.Now()}
+
+	useReuse := reusePortAvailable && cfg.Shards > 1
+	lc := net.ListenConfig{}
+	if useReuse {
+		lc.Control = reusePortControl
+	}
+	first, err := lc.ListenPacket(context.Background(), "udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("timeserve: listen %s: %w", cfg.Addr, err)
+	}
+	s.addr = first.LocalAddr()
+	s.conns = append(s.conns, first)
+	s.setBuffers(first)
+
+	if useReuse {
+		// Later shards bind the resolved address, so ":0" works.
+		for i := 1; i < cfg.Shards; i++ {
+			pc, err := lc.ListenPacket(context.Background(), "udp", s.addr.String())
+			if err != nil {
+				// SO_REUSEPORT bind refused (e.g. exotic kernel config):
+				// fall back to sharing the first socket.
+				s.reuseport = false
+				break
+			}
+			s.setBuffers(pc)
+			s.conns = append(s.conns, pc)
+			s.reuseport = true
+		}
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		pc := s.conns[0]
+		if i < len(s.conns) {
+			pc = s.conns[i]
+		}
+		s.wg.Add(1)
+		go s.serve(pc, &s.shards[i])
+	}
+	cfg.Obs.Register(s)
+	return s, nil
+}
+
+// setBuffers applies the configured socket buffer sizes where the connection
+// supports them.
+func (s *Server) setBuffers(pc net.PacketConn) {
+	type bufConn interface {
+		SetReadBuffer(int) error
+		SetWriteBuffer(int) error
+	}
+	if bc, ok := pc.(bufConn); ok {
+		_ = bc.SetReadBuffer(s.cfg.RecvBuf)
+		_ = bc.SetWriteBuffer(s.cfg.SendBuf)
+	}
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// ReusePort reports whether the shards got private SO_REUSEPORT sockets.
+func (s *Server) ReusePort() bool { return s.reuseport }
+
+// Shards reports the number of serving shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// serve is one shard's receive loop: read a datagram, answer every valid
+// query in it from the lease, send one response datagram back. Buffers are
+// reused across iterations; the loop allocates nothing in steady state.
+func (s *Server) serve(pc net.PacketConn, sh *shard) {
+	defer s.wg.Done()
+	buf := make([]byte, MaxDatagram)
+	out := make([]byte, 0, MaxBatch*RespSize)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		sh.datagrams.Add(1)
+		out = out[:0]
+		accepted := 0
+		for off := 0; off+ReqSize <= n; off += ReqSize {
+			if accepted == MaxBatch {
+				// Backpressure: excess queries in an oversized batch are
+				// dropped, not queued.
+				sh.drops.Add(uint64((n - off) / ReqSize))
+				break
+			}
+			q, err := ParseRequest(buf[off : off+ReqSize])
+			if err != nil {
+				sh.drops.Add(1)
+				continue
+			}
+			accepted++
+			sh.queries.Add(1)
+			r := Response{Node: s.cfg.Node, Nonce: q.Nonce, Echo: q.Echo}
+			if rd, ok := s.cfg.Source.LeaseRead(); ok {
+				r.Flags = FlagOK
+				r.Group = rd.GroupClock
+				r.Bound = rd.Bound
+				r.Epoch = rd.Epoch
+				sh.leaseHit.Add(1)
+			} else {
+				r.Flags = FlagStale
+				sh.staleRejected.Add(1)
+			}
+			out = AppendResponse(out, r)
+		}
+		if n%ReqSize != 0 {
+			sh.drops.Add(1) // runt or trailing garbage
+		}
+		if len(out) > 0 {
+			if _, err := pc.WriteTo(out, from); err != nil && !s.closed.Load() {
+				sh.drops.Add(uint64(accepted))
+			}
+		}
+	}
+}
+
+// Totals sums the shard counters.
+func (s *Server) Totals() (queries, leaseHit, staleRejected, drops uint64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		queries += sh.queries.Load()
+		leaseHit += sh.leaseHit.Load()
+		staleRejected += sh.staleRejected.Load()
+		drops += sh.drops.Load()
+	}
+	return
+}
+
+// ObsNode implements obs.Source.
+func (s *Server) ObsNode() uint32 { return s.cfg.Node }
+
+// ObsSamples implements obs.Source. timeserve.qps is the average query rate
+// since the server started; the remaining samples are monotonic counters.
+func (s *Server) ObsSamples() []obs.Sample {
+	queries, hit, stale, drops := s.Totals()
+	var datagrams uint64
+	for i := range s.shards {
+		datagrams += s.shards[i].datagrams.Load()
+	}
+	qps := uint64(0)
+	if el := time.Since(s.start); el > 0 {
+		qps = uint64(float64(queries) / el.Seconds())
+	}
+	id := s.cfg.Node
+	samples := []obs.Sample{
+		{Node: id, Name: "timeserve.qps", Value: qps},
+		{Node: id, Name: "timeserve.queries", Value: queries},
+		{Node: id, Name: "timeserve.lease_hit", Value: hit},
+		{Node: id, Name: "timeserve.stale_rejected", Value: stale},
+		{Node: id, Name: "timeserve.datagrams", Value: datagrams},
+		{Node: id, Name: "timeserve.drops", Value: drops},
+	}
+	for i := range s.shards {
+		samples = append(samples, obs.Sample{
+			Node:  id,
+			Name:  fmt.Sprintf("timeserve.shard%d.drops", i),
+			Value: s.shards[i].drops.Load(),
+		})
+	}
+	return samples
+}
+
+// Close stops the shards and releases the sockets.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, pc := range s.conns {
+		if err := pc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.wg.Wait()
+	return first
+}

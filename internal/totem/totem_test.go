@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"cts/internal/obs"
 	"cts/internal/sim"
 	"cts/internal/simnet"
 	"cts/internal/transport"
@@ -564,25 +565,35 @@ func TestDeterministicTrace(t *testing.T) {
 }
 
 func TestStatsCounters(t *testing.T) {
+	rec, err := obs.New(obs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := newHarness(t, 12, nil)
 	ids := nodeIDs(3)
 	for _, id := range ids {
-		h.addNode(id, ids, true)
+		h.addNode(id, ids, true, func(c *Config) { c.Obs = rec.ForNode(uint32(id)) })
 	}
 	h.startAll()
 	node := h.nodes[1]
 	h.k.Post(func() { node.Broadcast([]byte("x")) })
 	h.runUntil(time.Second, func() bool { return len(h.deliveries[0]) >= 1 })
-	var st Stats
-	h.k.Post(func() { st = h.nodes[1].StatsSnapshot() })
-	h.k.RunFor(time.Millisecond)
-	if st.TokensHandled == 0 {
+	counter := func(name string) uint64 {
+		var v uint64
+		for _, s := range rec.Samples() {
+			if s.Node == 1 && s.Name == name {
+				v += s.Value
+			}
+		}
+		return v
+	}
+	if counter("totem.tokens_handled") == 0 {
 		t.Fatal("no tokens handled")
 	}
-	if st.Broadcasts == 0 {
+	if counter("totem.broadcasts") == 0 {
 		t.Fatal("no broadcasts counted")
 	}
-	if st.Delivered == 0 {
+	if counter("totem.delivered") == 0 {
 		t.Fatal("no deliveries counted")
 	}
 }

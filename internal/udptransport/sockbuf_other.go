@@ -1,0 +1,11 @@
+//go:build !unix
+
+package udptransport
+
+import "net"
+
+// effectiveBufferSizes has no portable implementation off unix; callers see
+// zeros and report "unknown".
+func effectiveBufferSizes(conn *net.UDPConn) (recv, send int) {
+	return 0, 0
+}

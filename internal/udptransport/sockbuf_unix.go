@@ -1,0 +1,26 @@
+//go:build unix
+
+package udptransport
+
+import (
+	"net"
+	"syscall"
+)
+
+// effectiveBufferSizes reads back the socket buffer sizes the kernel
+// actually granted (SO_RCVBUF requests are clamped to net.core.rmem_max).
+func effectiveBufferSizes(conn *net.UDPConn) (recv, send int) {
+	sc, err := conn.SyscallConn()
+	if err != nil {
+		return 0, 0
+	}
+	_ = sc.Control(func(fd uintptr) {
+		if v, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF); err == nil {
+			recv = v
+		}
+		if v, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF); err == nil {
+			send = v
+		}
+	})
+	return recv, send
+}

@@ -19,6 +19,11 @@ import (
 const (
 	frameHeaderLen = 4        // big-endian sender NodeID
 	maxDatagram    = 64 << 10 // read buffer size
+
+	// defaultSockBuf is the SO_RCVBUF/SO_SNDBUF size requested at bind.
+	// Token-ring traffic is bursty (a token visit flushes a whole window of
+	// messages); large kernel buffers absorb the bursts instead of dropping.
+	defaultSockBuf = 4 << 20
 )
 
 // ErrClosed is returned by operations on a closed transport.
@@ -32,6 +37,14 @@ type Transport struct {
 	id   transport.NodeID
 	conn *net.UDPConn
 
+	// frames pools send-frame buffers so concurrent senders do not allocate
+	// per datagram; the receive path reuses one long-lived buffer, since
+	// the read loop is the sole reader.
+	frames sync.Pool
+
+	effRecvBuf int // effective SO_RCVBUF as reported by the kernel
+	effSendBuf int // effective SO_SNDBUF as reported by the kernel
+
 	mu     sync.Mutex
 	peers  map[transport.NodeID]*net.UDPAddr
 	recv   transport.Receiver
@@ -42,9 +55,34 @@ type Transport struct {
 
 var _ transport.Transport = (*Transport)(nil)
 
+// Option configures a Transport.
+type Option func(*options)
+
+type options struct {
+	recvBuf, sendBuf int
+}
+
+// WithSocketBuffers requests SO_RCVBUF/SO_SNDBUF sizes (the kernel may
+// clamp; BufferSizes reports what it granted). Zero keeps the default
+// (4 MiB each).
+func WithSocketBuffers(recv, send int) Option {
+	return func(o *options) {
+		if recv > 0 {
+			o.recvBuf = recv
+		}
+		if send > 0 {
+			o.sendBuf = send
+		}
+	}
+}
+
 // New binds a UDP socket on bindAddr (e.g. "127.0.0.1:0") for node id and
 // starts the receive loop. Peer addresses are registered with SetPeer.
-func New(id transport.NodeID, bindAddr string) (*Transport, error) {
+func New(id transport.NodeID, bindAddr string, opts ...Option) (*Transport, error) {
+	o := options{recvBuf: defaultSockBuf, sendBuf: defaultSockBuf}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	laddr, err := net.ResolveUDPAddr("udp", bindAddr)
 	if err != nil {
 		return nil, fmt.Errorf("udptransport: resolve %q: %w", bindAddr, err)
@@ -53,14 +91,26 @@ func New(id transport.NodeID, bindAddr string) (*Transport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udptransport: listen %q: %w", bindAddr, err)
 	}
+	_ = conn.SetReadBuffer(o.recvBuf)
+	_ = conn.SetWriteBuffer(o.sendBuf)
 	tr := &Transport{
 		id:    id,
 		conn:  conn,
 		peers: make(map[transport.NodeID]*net.UDPAddr),
 		done:  make(chan struct{}),
 	}
+	tr.frames.New = func() any { return make([]byte, 0, 2048) }
+	tr.effRecvBuf, tr.effSendBuf = effectiveBufferSizes(conn)
 	go tr.readLoop()
 	return tr, nil
+}
+
+// BufferSizes reports the effective socket buffer sizes the kernel granted
+// at bind (0, 0 where the platform offers no way to read them back). On
+// Linux the reported SO_RCVBUF value includes the kernel's bookkeeping
+// doubling.
+func (t *Transport) BufferSizes() (recv, send int) {
+	return t.effRecvBuf, t.effSendBuf
 }
 
 // LocalID implements transport.Transport.
@@ -134,10 +184,12 @@ func (t *Transport) Broadcast(payload []byte) error {
 }
 
 func (t *Transport) writeTo(addr *net.UDPAddr, payload []byte) error {
-	frame := make([]byte, frameHeaderLen+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(t.id))
-	copy(frame[frameHeaderLen:], payload)
-	if _, err := t.conn.WriteToUDP(frame, addr); err != nil {
+	frame := t.frames.Get().([]byte)[:0]
+	frame = binary.BigEndian.AppendUint32(frame, uint32(t.id))
+	frame = append(frame, payload...)
+	_, err := t.conn.WriteToUDP(frame, addr)
+	t.frames.Put(frame) //nolint:staticcheck // slice header boxing is fine here
+	if err != nil {
 		return fmt.Errorf("udptransport: send to %v: %w", addr, err)
 	}
 	return nil
