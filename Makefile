@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench loadtest
+.PHONY: check fmt vet lint build test race bench loadtest
 
-# check is the CI gate: formatting, vet, build, the race-enabled tests, and
-# the timeserve load smoke.
-check: fmt vet build race loadtest
+# check is the CI gate: formatting, vet, the project linter, build, the
+# race-enabled tests, and the timeserve load smoke.
+check: fmt vet lint build race loadtest
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -15,6 +15,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs ctslint, the project's own static analysis (determinism and
+# concurrency invariants; see DESIGN.md §8). Exceptions live in lint.allow.
+lint:
+	$(GO) run ./cmd/ctslint
+
 build:
 	$(GO) build ./...
 
@@ -22,7 +27,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,6 +1,6 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, race-enabled tests. Same steps as
-# `make check`, runnable where make is absent.
+# CI gate: formatting, vet, the project linter, build, race-enabled tests.
+# Same steps as `make check`, runnable where make is absent.
 set -eu
 
 cd "$(dirname "$0")"
@@ -16,11 +16,14 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== ctslint =="
+go run ./cmd/ctslint
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+go test -race -count=1 ./...
 
 echo "== ctsbench fig5 (BENCH_fig5.json) =="
 go run ./cmd/ctsbench -exp fig5 -trace fig5.trace.jsonl -json BENCH_fig5.json

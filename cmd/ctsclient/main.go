@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"cts/internal/gcs"
@@ -86,6 +87,8 @@ func run(id uint32, peerSpec string, n int, gap time.Duration, quiet bool) error
 			}
 		}
 	}
+	// Every process must derive the same ring from the same -peers flag.
+	sort.Slice(ring, func(i, j int) bool { return ring[i] < ring[j] })
 
 	loop := sim.NewLoop()
 	defer loop.Close()

@@ -1,0 +1,114 @@
+// Command ctslint runs the project's determinism and concurrency
+// static-analysis suite (internal/lint) over the module tree and fails on
+// any finding not covered by the reviewed lint.allow baseline. It is a hard
+// gate in `make check` and ci.sh, between vet and build.
+//
+// Usage:
+//
+//	ctslint [-root dir] [-allow file] [-rules csv|all] [-v]
+//
+// Exit status: 0 clean, 1 findings or stale baseline entries, 2 usage or
+// load errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cts/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	root := flag.String("root", ".", "module root to analyze")
+	allow := flag.String("allow", "", "baseline file (default <root>/lint.allow)")
+	rules := flag.String("rules", "all", "comma-separated rule subset: "+strings.Join(lint.AllRules, ","))
+	verbose := flag.Bool("v", false, "report analyzed package and suppression counts")
+	flag.Parse()
+
+	cfg := lint.DefaultConfig()
+	if *rules != "" && *rules != "all" {
+		cfg.Rules = map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			r = strings.TrimSpace(r)
+			known := false
+			for _, k := range lint.AllRules {
+				if k == r {
+					known = true
+				}
+			}
+			if !known {
+				fmt.Fprintf(os.Stderr, "ctslint: unknown rule %q (have %s)\n", r, strings.Join(lint.AllRules, ", "))
+				return 2
+			}
+			cfg.Rules[r] = true
+		}
+	}
+
+	absRoot, err := filepath.Abs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctslint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(absRoot, modulePath(absRoot))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctslint: %v\n", err)
+		return 2
+	}
+
+	allowPath := *allow
+	if allowPath == "" {
+		allowPath = filepath.Join(absRoot, "lint.allow")
+	}
+	baseline, err := lint.LoadBaseline(allowPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctslint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.Run(pkgs, cfg)
+	kept, stale := baseline.Filter(findings, absRoot)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for _, f := range kept {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(absRoot, f.Pos.Filename); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s [%s]\n", rel, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg, f.Scope)
+	}
+	for _, e := range stale {
+		fmt.Fprintf(out, "%s:%d: stale allow entry matches nothing: %s\n", allowPath, e.Line, e)
+	}
+	if *verbose {
+		fmt.Fprintf(out, "ctslint: %d package(s), %d finding(s), %d baselined, %d stale\n",
+			len(pkgs), len(findings), len(findings)-len(kept), len(stale))
+	}
+	if len(kept) > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// modulePath reads the module line of <root>/go.mod, defaulting to "main".
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "main"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return "main"
+}

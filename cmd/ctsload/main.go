@@ -450,6 +450,6 @@ func (g *group) stop() {
 		loop.Close()
 	}
 	for _, tr := range g.trs {
-		tr.Close()
+		_ = tr.Close() // teardown; the process is exiting
 	}
 }

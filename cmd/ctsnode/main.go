@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -138,6 +139,8 @@ func run(rc runConfig) error {
 			}
 		}
 	}
+	// Every process must derive the same ring from the same -peers flag.
+	sort.Slice(ring, func(i, j int) bool { return ring[i] < ring[j] })
 
 	logger, err := cts.NewLogger(os.Stderr)
 	if err != nil {

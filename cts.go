@@ -500,7 +500,7 @@ func (s *Service) Stop() {
 		}
 	})
 	if s.ts != nil {
-		s.ts.Close()
+		_ = s.ts.Close() // sockets are going away with the process
 		s.ts = nil
 	}
 	s.mgr.Stop()

@@ -29,6 +29,7 @@ type causalHarness struct {
 	k      *sim.Kernel
 	net    *simnet.Network
 	stacks map[transport.NodeID]*gcs.Stack
+	mgrs   map[transport.NodeID]*replication.Manager
 	apps   map[transport.NodeID]*clockApp
 	svcs   map[transport.NodeID]*TimeService
 	a, b   *rpc.Client
@@ -43,9 +44,22 @@ func newCausalHarness(t *testing.T, seed int64) *causalHarness {
 		k:      k,
 		net:    simnet.NewNetwork(k, nil),
 		stacks: make(map[transport.NodeID]*gcs.Stack),
+		mgrs:   make(map[transport.NodeID]*replication.Manager),
 		apps:   make(map[transport.NodeID]*clockApp),
 		svcs:   make(map[transport.NodeID]*TimeService),
 	}
+	t.Cleanup(func() {
+		// Drain in-flight invocations, then retire every replica's logical
+		// threads; TestMain's leak check fails the package otherwise.
+		h.k.RunFor(5 * time.Millisecond)
+		for _, s := range h.stacks {
+			s.Stop()
+		}
+		for _, m := range h.mgrs {
+			m.Stop()
+		}
+		h.k.RunFor(5 * time.Millisecond)
+	})
 	ring := []transport.NodeID{0, 1, 2, 3, 4}
 	for _, id := range ring {
 		s, err := gcs.New(gcs.Config{Runtime: k, Transport: h.net.Endpoint(id),
@@ -73,6 +87,7 @@ func newCausalHarness(t *testing.T, seed int64) *causalHarness {
 		if err := mgr.Start(); err != nil {
 			t.Fatal(err)
 		}
+		h.mgrs[id] = mgr
 		h.apps[id] = app
 		h.svcs[id] = svc
 	}

@@ -559,13 +559,6 @@ func (s *TimeService) Offset() time.Duration { return s.offset }
 // adopted. Loop-only.
 func (s *TimeService) LastGroupClock() time.Duration { return s.lastGroup }
 
-// StatsSnapshot returns activity counters. Loop-only.
-//
-// Deprecated: register an obs.Recorder via Config.Obs and gather the
-// counters through the obs.Source registry instead; this accessor remains
-// for existing tests and tools.
-func (s *TimeService) StatsSnapshot() Stats { return s.stats }
-
 // ObsNode implements obs.Source.
 func (s *TimeService) ObsNode() uint32 { return uint32(s.mgr.LocalNode()) }
 

@@ -89,7 +89,7 @@ func newCoreHarness(t *testing.T, seed int64) *coreHarness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &coreHarness{
+	h := &coreHarness{
 		t:       t,
 		k:       k,
 		net:     simnet.NewNetwork(k, nil),
@@ -100,12 +100,25 @@ func newCoreHarness(t *testing.T, seed int64) *coreHarness {
 		svcs:    make(map[transport.NodeID]*TimeService),
 		reports: make(map[transport.NodeID][]RoundReport),
 	}
+	t.Cleanup(func() {
+		// Drain in-flight invocations so every manager is idle, then retire
+		// the logical-thread goroutines; TestMain's leak check fails the
+		// package if any survive.
+		h.k.RunFor(5 * time.Millisecond)
+		for _, s := range h.stacks {
+			s.Stop()
+		}
+		for _, m := range h.mgrs {
+			m.Stop()
+		}
+		h.k.RunFor(5 * time.Millisecond)
+	})
+	return h
 }
 
-// counter reads one per-node counter from the obs registry — the
-// replacement for the deprecated StatsSnapshot accessor in assertions.
-// Like StatsSnapshot it must run between kernel steps (sources gather on
-// the loop, which the kernel runs on this goroutine).
+// counter reads one per-node counter from the obs registry, the only stats
+// surface. It must run between kernel steps (sources gather on the loop,
+// which the kernel runs on this goroutine).
 func (h *coreHarness) counter(id transport.NodeID, name string) uint64 {
 	var v uint64
 	for _, s := range h.rec.Samples() {
@@ -613,6 +626,10 @@ func TestConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() {
+		m.Stop() // retire the invocation thread the constructor spawned
+		k.RunFor(time.Millisecond)
+	}()
 	clk := hwclock.NewManual(0)
 	if _, err := New(Config{Clock: clk}); err == nil {
 		t.Fatal("missing manager accepted")
@@ -661,31 +678,44 @@ func TestDeterministicClockTraces(t *testing.T) {
 	}
 }
 
-// TestStatsRegistryParity pins the deprecated StatsSnapshot accessor to the
-// obs registry: every field must be reported under its canonical core.* name
-// with the same value. This is the one intentional remaining StatsSnapshot
-// call — all other assertions read the registry.
+// TestStatsRegistryParity asserts the obs registry — now the only stats
+// surface — publishes every canonical core.* counter for every replica, and
+// that the values are coherent after a burst of reads.
 func TestStatsRegistryParity(t *testing.T) {
 	h, client := standardSetup(t, 12, replication.Active)
 	driveReads(t, h, client, 20)
 	h.k.RunFor(10 * time.Millisecond)
+	names := []string{
+		"core.rounds_initiated",
+		"core.rounds_observed",
+		"core.ccs_sent",
+		"core.ccs_suppressed",
+		"core.from_buffer",
+		"core.special_rounds",
+		"core.monotonicity_fixes",
+		"core.timers_fired",
+	}
 	for _, id := range []transport.NodeID{1, 2, 3} {
-		st := h.svcs[id].StatsSnapshot()
-		want := map[string]uint64{
-			"core.rounds_initiated":   st.RoundsInitiated,
-			"core.rounds_observed":    st.RoundsObserved,
-			"core.ccs_sent":           st.CCSSent,
-			"core.ccs_suppressed":     st.CCSSuppressed,
-			"core.from_buffer":        st.FromBuffer,
-			"core.special_rounds":     st.SpecialRounds,
-			"core.monotonicity_fixes": st.MonotonicityFixes,
-			"core.timers_fired":       st.TimersFired,
-		}
-		for name, w := range want {
-			if got := h.counter(id, name); got != w {
-				t.Errorf("replica %v: registry %s=%d but StatsSnapshot field=%d",
-					id, name, got, w)
+		present := make(map[string]bool)
+		for _, s := range h.rec.Samples() {
+			if s.Node == uint32(id) {
+				present[s.Name] = true
 			}
 		}
+		for _, name := range names {
+			if !present[name] {
+				t.Errorf("replica %v: registry does not publish %s", id, name)
+			}
+		}
+		if h.counter(id, "core.rounds_initiated") == 0 {
+			t.Errorf("replica %v: registry shows no initiated rounds after the reads", id)
+		}
+	}
+	var sent uint64
+	for _, id := range []transport.NodeID{1, 2, 3} {
+		sent += h.counter(id, "core.ccs_sent")
+	}
+	if sent == 0 {
+		t.Error("registry accounts no CCS sends across the whole group")
 	}
 }

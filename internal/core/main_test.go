@@ -1,0 +1,11 @@
+package core
+
+import (
+	"testing"
+
+	"cts/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves goroutines running; every
+// started service stack must be fully stopped.
+func TestMain(m *testing.M) { testutil.Main(m) }

@@ -87,6 +87,7 @@ func timerSetup(t *testing.T, seed int64) (*coreHarness, *rpc.Client, map[transp
 		}
 		apps[id] = app
 		h.svcs[id] = svc
+		h.mgrs[id] = mgr // the harness cleanup retires its logical threads
 	}
 	client := h.newClient(0)
 	for _, s := range h.stacks {

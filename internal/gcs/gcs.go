@@ -155,13 +155,6 @@ func (s *Stack) Node() *totem.Node { return s.node }
 // LocalID reports the processor identity of this stack.
 func (s *Stack) LocalID() transport.NodeID { return s.me }
 
-// StatsSnapshot returns cumulative group-communication counters. Must be
-// called on the runtime loop.
-//
-// Deprecated: register an obs.Recorder via Config.Obs and gather the
-// counters through the obs.Source registry instead.
-func (s *Stack) StatsSnapshot() Stats { return s.stats }
-
 // ObsNode implements obs.Source.
 func (s *Stack) ObsNode() uint32 { return uint32(s.me) }
 

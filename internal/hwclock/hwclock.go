@@ -128,6 +128,17 @@ func (SystemClock) Read() time.Duration {
 // Granularity reports the µs quantum SystemClock truncates to.
 func (SystemClock) Granularity() time.Duration { return time.Microsecond }
 
+// Monotonic returns a Source reading the machine's monotonic clock as time
+// elapsed since the call to Monotonic. It is the sanctioned way for
+// production code to measure real elapsed time (cache ages, uptimes,
+// deadlines) without reading absolute wall time directly: ctslint's notime
+// rule bans time.Now outside this package, and consumers that take a Source
+// stay injectable for simulation.
+func Monotonic() Source {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
 // ManualClock is a test clock whose value only changes when told to.
 // It is safe for concurrent use.
 type ManualClock struct {

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Baseline is the reviewed exception list (lint.allow). Each entry pins one
+// (rule, file, scope) triple with a mandatory justification:
+//
+//	notime internal/obs/obs.go Config.Validate # wall-clock default for real deployments
+//
+// Matching by enclosing scope instead of line number keeps entries stable
+// across unrelated edits; a stale entry (matching nothing) fails the lint
+// run so the file can never rot.
+type Baseline struct {
+	Entries []AllowEntry
+}
+
+// AllowEntry is one parsed lint.allow line.
+type AllowEntry struct {
+	Rule string
+	// File is the slash-separated path relative to the lint root.
+	File string
+	// Scope is the enclosing declaration a finding must be in; "*" matches
+	// any scope within the file.
+	Scope  string
+	Reason string
+	Line   int
+	used   bool
+}
+
+func (e AllowEntry) String() string {
+	return fmt.Sprintf("%s %s %s # %s", e.Rule, e.File, e.Scope, e.Reason)
+}
+
+// LoadBaseline reads path; a missing file yields an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ParseBaseline(f, path)
+}
+
+// ParseBaseline parses lint.allow content. Blank lines and #-comment lines
+// are skipped; every entry must carry a non-empty `# justification`.
+func ParseBaseline(r io.Reader, name string) (*Baseline, error) {
+	b := &Baseline{}
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		body, reason, found := strings.Cut(line, "#")
+		reason = strings.TrimSpace(reason)
+		if !found || reason == "" {
+			return nil, fmt.Errorf("%s:%d: allow entry lacks a `# justification`", name, ln)
+		}
+		fields := strings.Fields(body)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want `rule file scope # reason`, got %d fields", name, ln, len(fields))
+		}
+		rule := fields[0]
+		known := false
+		for _, r := range AllRules {
+			if r == rule {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("%s:%d: unknown rule %q", name, ln, rule)
+		}
+		b.Entries = append(b.Entries, AllowEntry{
+			Rule: rule, File: fields[1], Scope: fields[2], Reason: reason, Line: ln,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Filter suppresses findings covered by the baseline. root anchors the
+// relative paths entries use. It returns the surviving findings and any
+// stale entries that matched nothing — both must be empty for a clean run.
+func (b *Baseline) Filter(findings []Finding, root string) (kept []Finding, stale []AllowEntry) {
+	for _, f := range findings {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		matched := false
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			if e.Rule == f.Rule && e.File == rel && (e.Scope == "*" || e.Scope == f.Scope) {
+				e.used = true
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, f)
+		}
+	}
+	for _, e := range b.Entries {
+		if !e.used {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

@@ -1,0 +1,256 @@
+// Package lint is ctslint's analysis engine: a stdlib-only (go/ast,
+// go/parser, go/types — no x/tools) static-analysis suite enforcing the
+// determinism and concurrency invariants the consistent time service depends
+// on. The CCS algorithm of PAPER §3 only yields a consistent group clock if
+// every replica's clock reads flow through the synchronized offset and
+// replicas process ordered events deterministically; these rules turn that
+// from review discipline into a machine-checked CI gate.
+//
+// Rules (each independently toggleable, see DESIGN.md §8 for rationale):
+//
+//   - notime: direct time.Now/Sleep/After/... calls are banned outside the
+//     clock abstraction packages (internal/hwclock, internal/timesource,
+//     internal/sim, internal/testutil) and _test.go files.
+//   - nolockio: no blocking operation (channel send/receive, select without
+//     default, Wait, sleeps, net dials) while a sync.Mutex/RWMutex is held.
+//   - maporder: map iteration whose results reach wire encoding or multicast
+//     send paths unsorted is cross-replica nondeterminism.
+//   - atomicmix: a field accessed through sync/atomic functions anywhere must
+//     be accessed that way everywhere.
+//   - errdrop: error returns on transport/wire encode-decode paths must not
+//     be silently discarded by a bare call statement.
+//
+// Findings carry file:line positions plus the enclosing declaration, so
+// intentional exceptions can be pinned in a reviewed lint.allow baseline
+// (see Baseline) without being line-number brittle.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllRules lists every rule name, in report order.
+var AllRules = []string{"atomicmix", "errdrop", "maporder", "nolockio", "notime"}
+
+// Finding is one rule violation.
+type Finding struct {
+	Rule string
+	// Pos locates the offending node.
+	Pos token.Position
+	// Scope names the enclosing function declaration ("Type.Method" or
+	// "Func"), or "-" at package scope. Baseline entries match on it, so
+	// exceptions survive unrelated line drift.
+	Scope string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg, f.Scope)
+}
+
+// Config selects and parameterizes rules. The zero value runs every rule
+// with the project defaults.
+type Config struct {
+	// Rules enables a subset by name; nil or empty enables all.
+	Rules map[string]bool
+
+	// NotimeAllowed lists package-path suffixes exempt from notime: the
+	// packages that *are* the clock abstraction.
+	NotimeAllowed []string
+
+	// OrderedImports and OrderedPkgSuffixes decide which packages maporder
+	// watches: any package importing one of OrderedImports, or whose import
+	// path ends in one of OrderedPkgSuffixes, can put bytes on the wire and
+	// must not let map iteration order reach them.
+	OrderedImports     []string
+	OrderedPkgSuffixes []string
+}
+
+// DefaultConfig returns the project rule parameters.
+func DefaultConfig() Config {
+	return Config{
+		NotimeAllowed: []string{
+			"internal/hwclock",
+			"internal/timesource",
+			"internal/sim",
+			"internal/testutil",
+		},
+		OrderedImports: []string{
+			"cts/internal/wire",
+			"cts/internal/transport",
+			"cts/internal/udptransport",
+		},
+		OrderedPkgSuffixes: []string{
+			"internal/wire",
+			"internal/timeserve",
+			"internal/transport",
+		},
+	}
+}
+
+func (c Config) enabled(rule string) bool {
+	if len(c.Rules) == 0 {
+		return true
+	}
+	return c.Rules[rule]
+}
+
+// Run analyzes pkgs under cfg and returns findings sorted by position.
+func Run(pkgs []*Package, cfg Config) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if cfg.enabled("notime") {
+			out = append(out, checkNotime(p, cfg)...)
+		}
+		if cfg.enabled("nolockio") {
+			out = append(out, checkNolockio(p)...)
+		}
+		if cfg.enabled("maporder") {
+			out = append(out, checkMaporder(p, cfg)...)
+		}
+		if cfg.enabled("atomicmix") {
+			out = append(out, checkAtomicmix(p)...)
+		}
+		if cfg.enabled("errdrop") {
+			out = append(out, checkErrdrop(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// finding builds a Finding at node, deriving the enclosing scope.
+func (p *Package) finding(rule string, node ast.Node, format string, args ...any) Finding {
+	return Finding{
+		Rule:  rule,
+		Pos:   p.Fset.Position(node.Pos()),
+		Scope: p.scopeOf(node.Pos()),
+		Msg:   fmt.Sprintf(format, args...),
+	}
+}
+
+// scopeOf names the top-level declaration containing pos.
+func (p *Package) scopeOf(pos token.Pos) string {
+	for _, f := range p.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if t := receiverTypeName(fd.Recv.List[0].Type); t != "" {
+					name = t + "." + name
+				}
+			}
+			return name
+		}
+	}
+	return "-"
+}
+
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	}
+	return ""
+}
+
+// pkgCall reports whether call is pkg.Fn(...) for the package imported in f
+// under importPath (or any path with "/"+importPath suffix), returning Fn.
+// It refuses identifiers shadowed by local declarations when type
+// information resolves them to something other than the package name.
+func (p *Package) pkgCall(f *ast.File, call *ast.CallExpr, importPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	names := importLocalNames(f, importPath)
+	if !names[id.Name] {
+		return "", false
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		if _, isPkg := obj.(*types.PkgName); !isPkg {
+			return "", false // shadowed by a local binding
+		}
+	}
+	return sel.Sel.Name, true
+}
+
+// importLocalNames collects the identifiers f binds to importPath (exact
+// match, or a path ending in "/"+importPath so corpus packages can stand in
+// for real ones).
+func importLocalNames(f *ast.File, importPath string) map[string]bool {
+	names := make(map[string]bool, 1)
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != importPath && !strings.HasSuffix(path, "/"+importPath) {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			names[imp.Name.Name] = true
+			continue
+		}
+		names[path[strings.LastIndex(path, "/")+1:]] = true
+	}
+	return names
+}
+
+// importsAny reports whether any file of p imports one of the given paths.
+func (p *Package) importsAny(paths []string) bool {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, want := range paths {
+				if path == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func hasAnySuffix(s string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if s == suf || strings.HasSuffix(s, "/"+suf) || strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked (best effort) package under analysis.
+type Package struct {
+	// Path is the package's import path under the load root's module prefix.
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types is the checked package; stdlib imports resolve to synthetic
+	// empty packages, so expressions touching them have invalid types and
+	// rules must tolerate missing type info. Module-internal imports resolve
+	// fully.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks every non-test package under root. modPrefix
+// is the import-path prefix the root directory maps to ("cts" for the repo,
+// "corpus" for rule testdata). Test files, testdata directories, and files
+// excluded by build constraints for the current platform are skipped —
+// ctslint analyzes exactly what ships in a build.
+func Load(root, modPrefix string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath := make(map[string]*Package)
+	ctx := build.Default
+
+	err = filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if dir != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			fn := e.Name()
+			if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+				continue
+			}
+			if ok, err := ctx.MatchFile(dir, fn); err != nil || !ok {
+				continue // other GOOS/GOARCH or build-tag excluded
+			}
+			af, err := parser.ParseFile(fset, filepath.Join(dir, fn), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, fn), err)
+			}
+			files = append(files, af)
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		path := modPrefix
+		if rel != "." {
+			path = modPrefix + "/" + filepath.ToSlash(rel)
+		}
+		byPath[path] = &Package{Path: path, Dir: dir, Fset: fset, Files: files}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	imp := &moduleImporter{done: make(map[string]*types.Package), fake: make(map[string]*types.Package)}
+	conf := types.Config{
+		Importer:                 imp,
+		Error:                    func(error) {}, // lenient: synthetic stdlib leaves gaps
+		DisableUnusedImportCheck: true,
+	}
+
+	// Type-check in dependency order so module-internal imports resolve to
+	// real packages (import cycles are illegal in Go, so the DFS terminates).
+	checked := make(map[string]bool)
+	var checkPkg func(path string) error
+	checkPkg = func(path string) error {
+		if checked[path] {
+			return nil
+		}
+		checked[path] = true
+		p := byPath[path]
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				dep := strings.Trim(spec.Path.Value, `"`)
+				if _, ok := byPath[dep]; ok {
+					if err := checkPkg(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tpkg, _ := conf.Check(path, fset, p.Files, p.Info) // errors swallowed, best-effort Info
+		if tpkg == nil {
+			return fmt.Errorf("lint: type-checking %s produced no package", path)
+		}
+		tpkg.MarkComplete()
+		p.Types = tpkg
+		imp.done[path] = tpkg
+		return nil
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		if err := checkPkg(path); err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, byPath[path])
+	}
+	return pkgs, nil
+}
+
+// moduleImporter resolves module-internal imports to the packages Load has
+// already checked and everything else (the standard library) to cached
+// synthetic empty packages. Rules therefore see real types for module code
+// and invalid types for stdlib-touching expressions.
+type moduleImporter struct {
+	done map[string]*types.Package
+	fake map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := m.done[path]; p != nil {
+		return p, nil
+	}
+	if p := m.fake[path]; p != nil {
+		return p, nil
+	}
+	p := types.NewPackage(path, path[strings.LastIndex(path, "/")+1:])
+	p.MarkComplete()
+	m.fake[path] = p
+	return p, nil
+}

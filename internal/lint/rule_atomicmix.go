@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkAtomicmix flags variables and struct fields accessed both through
+// sync/atomic functions and through plain reads/writes in the same package.
+// A plain access concurrent with atomic ones is a data race the race
+// detector only catches when the interleaving actually happens; the lease
+// plane's CAS monotone floor (DESIGN §7) is correct only if *every* access
+// to the floor goes through atomics. go vet's "atomic" check only catches
+// self-assignment misuse (x = atomic.AddUint64(&x, 1)); it does not catch
+// mixed plain access, which is this rule's job. The typed atomics
+// (atomic.Uint64, atomic.Pointer) are immune by construction — prefer them.
+//
+// The check is package-local and intentionally strict: initialization
+// before the value is shared is still flagged, because "not yet shared" is
+// an invariant reviewers cannot see locally. Baseline such sites in
+// lint.allow with the publication argument spelled out.
+func checkAtomicmix(p *Package) []Finding {
+	// Pass 1: objects accessed through atomic functions, and the AST nodes
+	// making those accesses (excluded from pass 2).
+	atomicFuncs := map[string]bool{}
+	for _, fn := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicFuncs[fn+ty] = true
+		}
+	}
+	atomicObjs := map[types.Object]string{} // object → one atomic call site (for the message)
+	inAtomic := map[ast.Node]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.pkgCall(f, call, "sync/atomic")
+			if !ok || !atomicFuncs[fn] || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			obj := p.referencedVar(un.X)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicObjs[obj]; !seen {
+				atomicObjs[obj] = p.Fset.Position(call.Pos()).String()
+			}
+			// Exclude every identifier inside this atomic argument from the
+			// plain-access pass.
+			ast.Inspect(un, func(an ast.Node) bool {
+				inAtomic[an] = true
+				return true
+			})
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other reference to those objects is a plain access. A
+	// selector's Sel ident is judged once, through its SelectorExpr.
+	selIdents := map[*ast.Ident]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if s, ok := n.(*ast.SelectorExpr); ok {
+				selIdents[s.Sel] = true
+			}
+			return true
+		})
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if inAtomic[n] {
+				return true
+			}
+			var obj types.Object
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if inAtomic[n.Sel] {
+					return true
+				}
+				obj = p.Info.Uses[n.Sel]
+			case *ast.Ident:
+				if selIdents[n] {
+					return true
+				}
+				obj = p.Info.Uses[n]
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if site, hot := atomicObjs[obj]; hot {
+				out = append(out, p.finding("atomicmix", n,
+					"plain access to %s, which is accessed via sync/atomic at %s; every access must be atomic (or use the typed atomics)",
+					obj.Name(), shortPos(site)))
+			}
+			return true
+		})
+	}
+	// Deduplicate multiple findings at the same position (Ident nested in
+	// SelectorExpr resolves twice).
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+	dedup := out[:0]
+	for i, fnd := range out {
+		if i > 0 && fnd.Pos == out[i-1].Pos {
+			continue
+		}
+		dedup = append(dedup, fnd)
+	}
+	return dedup
+}
+
+// referencedVar resolves &x or &s.f to the variable/field object, if typed.
+func (p *Package) referencedVar(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return p.referencedVar(e.X)
+	}
+	return nil
+}
+
+// shortPos trims the directory from a file:line:col position string.
+func shortPos(s string) string {
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sendyMethods are method names on the encode/send surface: dropping their
+// error means a message silently never reached the wire (or arrived
+// corrupt), which active replication turns into divergent replica state
+// rather than a visible failure.
+var sendyMethods = map[string]bool{
+	"Multicast":    true,
+	"Broadcast":    true,
+	"Send":         true,
+	"SendTo":       true,
+	"Encode":       true,
+	"Decode":       true,
+	"WriteMessage": true,
+	"ReadMessage":  true,
+}
+
+// wireishSuffixes mark packages whose entire API is the encode-decode /
+// transport surface; any discarded error from them is flagged.
+var wireishSuffixes = []string{"/wire", "/transport", "/udptransport", "/timeserve"}
+
+// checkErrdrop flags bare call statements that discard an error returned by
+// a wire/transport-path function. An explicit `_ = f()` is accepted as a
+// reviewed decision; a bare `f()` is indistinguishable from an oversight.
+// Only callees with resolved types are judged (stdlib calls resolve through
+// the real signatures of module packages, not the synthetic stdlib), so the
+// rule never guesses.
+func checkErrdrop(p *Package) []Finding {
+	errType := types.Universe.Lookup("error").Type()
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return true
+			}
+			last := sig.Results().At(sig.Results().Len() - 1).Type()
+			if !types.Identical(last, errType) {
+				return true
+			}
+			onWirePath := fn.Pkg() != nil && hasAnySuffix(fn.Pkg().Path(), wireishSuffixes)
+			if !onWirePath && !sendyMethods[fn.Name()] {
+				return true
+			}
+			out = append(out, p.finding("errdrop", es,
+				"%s returns an error that is silently discarded on a wire/transport path; handle it or acknowledge with `_ =`", fn.Name()))
+			return true
+		})
+	}
+	return out
+}
+
+// calleeFunc resolves a call's static callee, or nil for indirect calls,
+// builtins, conversions, and unresolved (synthetic-stdlib) callees.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // package-qualified call
+		}
+	}
+	return nil
+}

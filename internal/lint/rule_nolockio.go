@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkNolockio flags blocking operations performed while a mutex is held:
+// channel sends and receives, range-over-channel, select without a default
+// clause, Wait() calls, time.Sleep, and net dial/listen calls. Token
+// rotation bounds the whole group's clock-read latency (PAPER §4), so one
+// replica sleeping or blocking on I/O inside a critical section stretches
+// every replica's worst case — and lock-then-receive is the classic shape
+// of a distributed deadlock.
+//
+// The analysis is per function body and flow-insensitive beyond statement
+// order: a Lock()/RLock() call puts its receiver expression in the held
+// set, Unlock()/RUnlock() removes it, and a deferred unlock holds to the
+// end of the function. Function literals are analyzed as their own bodies
+// (their blocking runs when they run, not at creation). sync.Cond.Wait,
+// which must be called with the lock held, is the intended shape for
+// condition variables — baseline it in lint.allow where used.
+func checkNolockio(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					w := &lockWalker{p: p, f: f, out: &out, held: map[string]token.Position{}}
+					w.block(n.Body)
+				}
+				return true // recurse for nested FuncLits
+			case *ast.FuncLit:
+				w := &lockWalker{p: p, f: f, out: &out, held: map[string]token.Position{}}
+				w.block(n.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type lockWalker struct {
+	p    *Package
+	f    *ast.File
+	out  *[]Finding
+	held map[string]token.Position // lock receiver expr → acquisition site
+}
+
+// lockOp classifies x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() calls,
+// returning the receiver expression's printed form.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (recv string, acquire, release bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false, false
+	}
+	// A package-qualified call (flock.Lock(...)) is not a mutex method.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := w.p.Info.Uses[id].(*types.PkgName); isPkg {
+			return "", false, false
+		}
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+func (w *lockWalker) holding() (string, token.Position, bool) {
+	for recv, pos := range w.held {
+		return recv, pos, true
+	}
+	return "", token.Position{}, false
+}
+
+func (w *lockWalker) flag(n ast.Node, what string) {
+	recv, at, ok := w.holding()
+	if !ok {
+		return
+	}
+	*w.out = append(*w.out, w.p.finding("nolockio", n,
+		"%s while %s is held (locked at line %d)", what, recv, at.Line))
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, acq, rel := w.lockOp(call); acq || rel {
+				if acq {
+					w.held[recv] = w.p.Fset.Position(call.Pos())
+				} else {
+					delete(w.held, recv)
+				}
+				return
+			}
+		}
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		if _, _, rel := w.lockOp(s.Call); rel {
+			return // deferred unlock: the lock stays held for the body
+		}
+		w.exprs(s.Call.Args) // args evaluate now; the call itself runs at return
+	case *ast.GoStmt:
+		w.exprs(s.Call.Args) // spawning is non-blocking; the lit body is its own walk
+	case *ast.SendStmt:
+		w.flag(s, "channel send")
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.AssignStmt:
+		w.exprs(s.Rhs)
+		w.exprs(s.Lhs)
+	case *ast.ReturnStmt:
+		w.exprs(s.Results)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.block(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmt(s.Post)
+		w.block(s.Body)
+	case *ast.RangeStmt:
+		if t, ok := w.p.Info.Types[s.X]; ok && t.Type != nil {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				w.flag(s, "range over channel")
+			}
+		}
+		w.expr(s.X)
+		w.block(s.Body)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.flag(s, "select without default")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, bs := range cc.Body {
+					w.stmt(bs)
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.exprs(cc.List)
+				for _, bs := range cc.Body {
+					w.stmt(bs)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, bs := range cc.Body {
+					w.stmt(bs)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(vs.Values)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+func (w *lockWalker) exprs(es []ast.Expr) {
+	for _, e := range es {
+		w.expr(e)
+	}
+}
+
+// expr scans one expression for blocking operations, skipping function
+// literals (their bodies run later, outside this critical section).
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil || len(w.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.flag(n, "channel receive")
+			}
+		case *ast.CallExpr:
+			if fn, ok := w.p.pkgCall(w.f, n, "time"); ok && fn == "Sleep" {
+				w.flag(n, "time.Sleep")
+			}
+			if fn, ok := w.p.pkgCall(w.f, n, "net"); ok {
+				w.flag(n, "net."+fn+" call")
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(n.Args) == 0 {
+				w.flag(n, types.ExprString(sel)+"() call")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// notimeBanned are the package time functions that read or schedule against
+// the machine's real clock. Every one of them smuggles wall time past the
+// hwclock/timesource abstraction, which is the only place real time is
+// allowed to enter the stack (PAPER §3: replicas must read clocks through
+// the synchronized offset, or the group clock is not consistent).
+var notimeBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// checkNotime bans direct real-clock reads and timers outside the clock
+// abstraction packages. Construction of time.Duration values and use of the
+// time package's types remain free everywhere.
+func checkNotime(p *Package, cfg Config) []Finding {
+	if hasAnySuffix(p.Path, cfg.NotimeAllowed) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := p.pkgCall(f, call, "time"); ok && notimeBanned[fn] {
+				out = append(out, p.finding("notime", call,
+					"direct time.%s call outside the clock abstraction; inject a hwclock.Clock/Source (or baseline pure wall-clock measurement in lint.allow)", fn))
+			}
+			return true
+		})
+	}
+	return out
+}

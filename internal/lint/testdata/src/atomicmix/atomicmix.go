@@ -1,0 +1,31 @@
+// Package atomicmix is ctslint golden corpus: fields accessed both through
+// sync/atomic functions and plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	safe uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) badPlainRead() uint64 {
+	return c.n // want: atomicmix plain access
+}
+
+func (c *counter) badPlainWrite() {
+	c.n = 0 // want: atomicmix plain access
+}
+
+func (c *counter) okOtherField() uint64 {
+	c.safe++ // never accessed atomically; plain access is fine
+	return c.safe
+}

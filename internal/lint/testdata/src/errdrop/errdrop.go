@@ -1,0 +1,29 @@
+// Package errdrop is ctslint golden corpus: silently discarded errors on
+// the wire/transport surface.
+package errdrop
+
+import "corpus/wire"
+
+type conn struct{}
+
+// Multicast is a stand-in send primitive.
+func (conn) Multicast(b []byte) error { return nil }
+
+// helper is off the wire surface; its dropped error is vet's business, not
+// this rule's.
+func (conn) helper() error { return nil }
+
+func bad(c conn) {
+	c.Multicast(nil) // want: errdrop Multicast
+	wire.Flush()     // want: errdrop Flush
+	wire.Marshal(1)  // want: errdrop Marshal
+}
+
+func ok(c conn) error {
+	_ = c.Multicast(nil) // explicit acknowledgment is a reviewed decision
+	if err := c.Multicast(nil); err != nil {
+		return err
+	}
+	c.helper() // not a wire-path callee
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package hwclock proves the notime exemption: packages whose import path
+// ends in internal/hwclock (or timesource, sim, testutil) ARE the clock
+// abstraction and may read real time. No finding is expected in this file.
+package hwclock
+
+import "time"
+
+// Real reads the machine clock; allowed here, banned everywhere else.
+func Real() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,61 @@
+// Package maporder is ctslint golden corpus: map iteration order reaching
+// send and encode paths. The blank wire import marks this package as able
+// to put bytes on the wire, which gates the rule.
+package maporder
+
+import (
+	"sort"
+
+	"corpus/wire"
+	_ "cts/internal/wire"
+)
+
+type sender struct{}
+
+// Multicast is a stand-in send primitive.
+func (sender) Multicast(b []byte) error { return nil }
+
+func badDirectSend(m map[int]string, s sender) {
+	for _, v := range m {
+		_ = s.Multicast([]byte(v)) // want: maporder Multicast
+	}
+}
+
+func badWireEncode(m map[int]string) []byte {
+	var out []byte
+	for _, v := range m {
+		out = wire.AppendString(out, v) // want: maporder wire encoding
+	}
+	return out
+}
+
+func badUnsortedCollect(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want: maporder never sorted
+	}
+	return keys
+}
+
+func okCollectThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func okCountOnly(m map[int]string) int {
+	n := 0
+	for range m { // the iteration order is unobservable
+		n++
+	}
+	return n
+}
+
+func okSliceRange(xs []string, s sender) {
+	for _, v := range xs { // slices iterate deterministically
+		_ = s.Multicast([]byte(v))
+	}
+}

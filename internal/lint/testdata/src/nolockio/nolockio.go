@@ -1,0 +1,87 @@
+// Package nolockio is ctslint golden corpus: blocking operations inside
+// mutex critical sections.
+package nolockio
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (g *guarded) badSend(v int) {
+	g.mu.Lock()
+	g.ch <- v // want: nolockio channel send
+	g.mu.Unlock()
+}
+
+func (g *guarded) badRecvUnderDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want: nolockio channel receive
+}
+
+func (g *guarded) badSleep() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want: nolockio time.Sleep ; notime time.Sleep
+}
+
+func (g *guarded) badSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want: nolockio select without default
+	case v := <-g.ch:
+		_ = v
+	}
+}
+
+func (g *guarded) badDial() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, _ = net.Dial("udp", "127.0.0.1:1") // want: nolockio net.Dial
+}
+
+func (g *guarded) badWait(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want: nolockio Wait
+	g.mu.Unlock()
+}
+
+func (g *guarded) badRangeChan() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range g.ch { // want: nolockio range over channel
+		_ = v
+	}
+}
+
+func (g *guarded) okAfterUnlock(v int) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- v // the lock is released: fine
+}
+
+func (g *guarded) okFuncLit() func() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return func() { g.ch <- 1 } // runs later, outside the critical section
+}
+
+func (g *guarded) okSelectWithDefault() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		_ = v
+	default: // non-blocking poll is fine under the lock
+	}
+}
+
+func (g *guarded) okNoLock(v int) {
+	g.ch <- v
+}

@@ -1,0 +1,35 @@
+// Package notime is ctslint golden corpus: direct real-clock reads outside
+// the clock abstraction packages.
+package notime
+
+import (
+	"time"
+	realtime "time"
+)
+
+func bad() {
+	_ = time.Now()                 // want: notime time.Now
+	time.Sleep(time.Millisecond)   // want: notime time.Sleep
+	_ = time.After(time.Second)    // want: notime time.After
+	_ = time.NewTimer(time.Second) // want: notime time.NewTimer
+	_ = time.Since(start)          // want: notime time.Since
+	_ = realtime.Now()             // want: notime time.Now
+}
+
+var start = time.Now() // want: notime time.Now
+
+func okDurations() time.Duration {
+	d := 5 * time.Millisecond // constructing durations is allowed
+	var t time.Time           // using the package's types is allowed
+	_ = t
+	return d
+}
+
+func okShadowed() int {
+	time := notTime{} // a local binding shadows the package
+	return time.Now()
+}
+
+type notTime struct{}
+
+func (notTime) Now() int { return 0 }

@@ -1,0 +1,22 @@
+// Package wire is ctslint corpus support: a stand-in for the repo's wire
+// encode-decode surface (its import path ends in /wire, which both the
+// maporder and errdrop rules key on).
+package wire
+
+import "errors"
+
+var errNegative = errors.New("wire: negative value")
+
+// AppendString encodes s onto b.
+func AppendString(b []byte, s string) []byte { return append(b, s...) }
+
+// Marshal encodes v.
+func Marshal(v int) ([]byte, error) {
+	if v < 0 {
+		return nil, errNegative
+	}
+	return []byte{byte(v)}, nil
+}
+
+// Flush pushes buffered encodes to the transport.
+func Flush() error { return nil }

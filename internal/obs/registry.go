@@ -31,8 +31,8 @@ type Source interface {
 }
 
 // Registry collects metric sources from every layer of the stack — the
-// single replacement for the divergent per-package StatsSnapshot methods.
-// The zero value is ready to use.
+// single stats surface, superseding the divergent per-package snapshot
+// accessors the layers used to carry. The zero value is ready to use.
 type Registry struct {
 	mu      sync.Mutex
 	sources []Source

@@ -346,13 +346,6 @@ func (m *Manager) InPrimaryComponent() bool { return m.view.Primary }
 // Live reports whether the replica's state is current. Loop-only.
 func (m *Manager) Live() bool { return m.live }
 
-// StatsSnapshot returns activity counters. Loop-only.
-//
-// Deprecated: register an obs.Recorder via Config.Obs and gather the
-// counters through the obs.Source registry instead; this accessor remains
-// for existing tests and tools.
-func (m *Manager) StatsSnapshot() Stats { return m.stats }
-
 // Obs returns the manager's recorder (nil when observability is off).
 func (m *Manager) Obs() *obs.Recorder { return m.obs }
 

@@ -82,9 +82,8 @@ func newRepHarness(t *testing.T, seed int64) *repHarness {
 	}
 }
 
-// counter reads one per-node counter from the obs registry, replacing the
-// deprecated StatsSnapshot accessor in assertions. Run it between kernel
-// steps, like the loop-only accessor it replaces.
+// counter reads one per-node counter from the obs registry, the only stats
+// surface. Run it between kernel steps (sources gather on the loop).
 func (h *repHarness) counter(id transport.NodeID, name string) uint64 {
 	var v uint64
 	for _, s := range h.rec.Samples() {

@@ -136,12 +136,6 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
-// StatsSnapshot returns cumulative client counters. Loop-only.
-//
-// Deprecated: register an obs.Recorder via ClientConfig.Obs and gather the
-// counters through the obs.Source registry instead.
-func (c *Client) StatsSnapshot() Stats { return c.stats }
-
 // ObsNode implements obs.Source.
 func (c *Client) ObsNode() uint32 { return uint32(c.stack.LocalID()) }
 

@@ -1,0 +1,110 @@
+// Package testutil holds shared test harness pieces. Its centerpiece is a
+// stdlib-only goroutine-leak check: every service in this repo owns
+// goroutines (totem rounds, timeserve responders, core drivers), and a test
+// that returns without stopping them hides a shutdown bug the race detector
+// cannot see. Packages opt in with
+//
+//	func TestMain(m *testing.M) { testutil.Main(m) }
+//
+// which fails the package's test binary if goroutines survive past the end
+// of the run.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long Main waits for goroutines to drain before declaring
+// them leaked. Shutdown is asynchronous almost everywhere (Close returns
+// before the receive loop observes the closed socket), so a grace period is
+// part of the contract, not slack.
+const leakGrace = 5 * time.Second
+
+// Main runs the package's tests and then fails the binary if goroutines
+// leaked. Use it as the body of TestMain.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := RunLeakCheck(leakGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "testutil: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// RunLeakCheck polls the live goroutine set until only the harness remains
+// or the grace period expires, and returns an error carrying the surviving
+// stacks.
+func RunLeakCheck(grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var extra []string
+	for {
+		extra = leakedGoroutines()
+		if len(extra) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutine(s) still running %v after the tests finished:\n\n%s",
+		len(extra), grace, strings.Join(extra, "\n\n"))
+}
+
+// benignMarks identify goroutines the harness itself owns: the goroutine
+// running this check, the testing machinery, and runtime/os helpers that
+// live for the whole process. Anything else alive after m.Run is the tests'
+// responsibility.
+var benignMarks = []string{
+	"cts/internal/testutil.leakedGoroutines",
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.tRunner(",
+	"testing.runTests(",
+	"runtime.goexit0",
+	"runtime.CPUProfile",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"created by runtime.",
+	"created by os/signal.",
+}
+
+// leakedGoroutines returns the stacks of non-harness goroutines, one block
+// per goroutine as formatted by runtime.Stack.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var extra []string
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" || isBenign(block) {
+			continue
+		}
+		extra = append(extra, block)
+	}
+	return extra
+}
+
+func isBenign(stack string) bool {
+	for _, mark := range benignMarks {
+		if strings.Contains(stack, mark) {
+			return true
+		}
+	}
+	return false
+}

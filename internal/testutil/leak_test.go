@@ -1,0 +1,49 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+func TestRunLeakCheckClean(t *testing.T) {
+	if err := RunLeakCheck(time.Second); err != nil {
+		t.Fatalf("RunLeakCheck on a quiet process: %v", err)
+	}
+}
+
+func TestRunLeakCheckCatchesLeak(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	err := RunLeakCheck(100 * time.Millisecond)
+	if err == nil {
+		close(block)
+		t.Fatal("RunLeakCheck missed a parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "TestRunLeakCheckCatchesLeak") {
+		close(block)
+		t.Fatalf("leak report does not name the leaking stack:\n%v", err)
+	}
+
+	close(block)
+	if err := RunLeakCheck(time.Second); err != nil {
+		t.Fatalf("RunLeakCheck after the goroutine drained: %v", err)
+	}
+}
+
+func TestIsBenignFiltersHarness(t *testing.T) {
+	if !isBenign("goroutine 1 [running]:\ntesting.(*M).Run(...)") {
+		t.Error("testing harness stack should be benign")
+	}
+	if isBenign("goroutine 7 [chan receive]:\ncts/internal/totem.(*Totem).run(...)") {
+		t.Error("a service goroutine must not be benign")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"cts/internal/hwclock"
 )
 
 // ClientConfig configures a Client.
@@ -23,6 +25,9 @@ type ClientConfig struct {
 	// DriftPPM is the assumed rate error of the client's local clock, used
 	// to widen the bound of extrapolated readings. Default 200 ppm.
 	DriftPPM float64
+	// Mono measures elapsed time for cache aging. Defaults to the machine's
+	// monotonic clock (hwclock.Monotonic); tests inject a manual source.
+	Mono hwclock.Source
 }
 
 // Validate checks cfg and fills defaults.
@@ -41,6 +46,9 @@ func (c ClientConfig) Validate() (ClientConfig, error) {
 	}
 	if c.DriftPPM == 0 {
 		c.DriftPPM = 200
+	}
+	if c.Mono == nil {
+		c.Mono = hwclock.Monotonic()
 	}
 	return c, nil
 }
@@ -63,7 +71,7 @@ type Client struct {
 	nonce uint64
 
 	cached   Response
-	cachedAt time.Time // monotonic anchor of the cached reading
+	cachedAt time.Duration // Mono reading anchoring the cached response
 	hasCache bool
 	floor    time.Duration // monotone guard over returned readings
 
@@ -92,7 +100,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 // replicas.
 func (c *Client) Now() (Reading, error) {
 	if c.hasCache && c.cfg.CacheFor > 0 {
-		elapsed := time.Since(c.cachedAt)
+		elapsed := c.cfg.Mono() - c.cachedAt
 		if elapsed < c.cfg.CacheFor {
 			c.hits++
 			r := Reading{
@@ -117,7 +125,7 @@ func (c *Client) Query() (Reading, error) {
 	}
 	r := resps[0]
 	c.cached = r
-	c.cachedAt = time.Now()
+	c.cachedAt = c.cfg.Mono()
 	c.hasCache = true
 	return c.monotone(Reading{GroupClock: r.Group, Bound: r.Bound, Epoch: r.Epoch, Node: r.Node}), nil
 }

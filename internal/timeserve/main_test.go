@@ -1,0 +1,12 @@
+package timeserve
+
+import (
+	"testing"
+
+	"cts/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves goroutines running; server
+// responder loops and client sockets must be closed by the test that opened
+// them.
+func TestMain(m *testing.M) { testutil.Main(m) }

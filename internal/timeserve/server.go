@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cts/internal/hwclock"
 	"cts/internal/obs"
 )
 
@@ -48,6 +49,9 @@ type Config struct {
 	RecvBuf, SendBuf int
 	// Obs registers the server's counters. Optional.
 	Obs *obs.Recorder
+	// Mono measures server uptime for the timeserve.qps sample. Defaults to
+	// the machine's monotonic clock (hwclock.Monotonic).
+	Mono hwclock.Source
 }
 
 // Validate checks cfg and fills defaults.
@@ -70,6 +74,9 @@ func (c Config) Validate() (Config, error) {
 	if c.SendBuf == 0 {
 		c.SendBuf = 4 << 20
 	}
+	if c.Mono == nil {
+		c.Mono = hwclock.Monotonic()
+	}
 	return c, nil
 }
 
@@ -91,7 +98,6 @@ type Server struct {
 	shards    []shard
 	wg        sync.WaitGroup
 	addr      net.Addr
-	start     time.Time
 	reuseport bool
 	closed    atomic.Bool
 }
@@ -104,7 +110,7 @@ func Start(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, shards: make([]shard, cfg.Shards), start: time.Now()}
+	s := &Server{cfg: cfg, shards: make([]shard, cfg.Shards)}
 
 	useReuse := reusePortAvailable && cfg.Shards > 1
 	lc := net.ListenConfig{}
@@ -249,7 +255,7 @@ func (s *Server) ObsSamples() []obs.Sample {
 		datagrams += s.shards[i].datagrams.Load()
 	}
 	qps := uint64(0)
-	if el := time.Since(s.start); el > 0 {
+	if el := s.cfg.Mono(); el > 0 {
 		qps = uint64(float64(queries) / el.Seconds())
 	}
 	id := s.cfg.Node

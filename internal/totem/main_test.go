@@ -1,0 +1,11 @@
+package totem
+
+import (
+	"testing"
+
+	"cts/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves goroutines running; the
+// totem loop must always be stopped by the test that started it.
+func TestMain(m *testing.M) { testutil.Main(m) }

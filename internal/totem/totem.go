@@ -344,19 +344,11 @@ func (n *Node) Members() []transport.NodeID {
 // on the runtime loop.
 func (n *Node) InPrimary() bool { return n.primary }
 
-// StatsSnapshot returns cumulative protocol counters. Must be called on the
-// runtime loop.
-//
-// Deprecated: register an obs.Recorder via Config.Obs and gather the
-// counters through the obs.Source registry instead; this accessor remains
-// for existing tests and tools.
-func (n *Node) StatsSnapshot() Stats { return n.stats }
-
 // ObsNode implements obs.Source.
 func (n *Node) ObsNode() uint32 { return uint32(n.me) }
 
 // ObsSamples implements obs.Source under the canonical totem.* names.
-// Loop-only, like StatsSnapshot.
+// Loop-only.
 func (n *Node) ObsSamples() []obs.Sample {
 	id := uint32(n.me)
 	return []obs.Sample{
