@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench loadtest
+.PHONY: check fmt vet lint build test race bench bench-concurrent loadtest
 
 # check is the CI gate: formatting, vet, the project linter, build, the
-# race-enabled tests, and the timeserve load smoke.
-check: fmt vet lint build race loadtest
+# race-enabled tests, the batched-round smoke and the timeserve load smoke.
+check: fmt vet lint build race bench-concurrent loadtest
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -32,6 +32,13 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/ctsbench -exp fig5 -trace fig5.trace.jsonl -json BENCH_fig5.json
+
+# bench-concurrent smokes the batched-round path (DESIGN.md §9): ctsbench
+# exits nonzero unless concurrent readers coalesced rounds and their mean
+# per-read overhead is at most half the single-reader overhead. Writes
+# BENCH_fig5_concurrent.json.
+bench-concurrent:
+	$(GO) run ./cmd/ctsbench -exp fig5concurrent -jsonConcurrent BENCH_fig5_concurrent.json
 
 # loadtest smokes the external time-serving plane: a race-enabled in-process
 # three-replica group must sustain 100k queries/s with zero staleness-bound

@@ -28,6 +28,11 @@ go test -race -count=1 ./...
 echo "== ctsbench fig5 (BENCH_fig5.json) =="
 go run ./cmd/ctsbench -exp fig5 -trace fig5.trace.jsonl -json BENCH_fig5.json
 
+echo "== ctsbench fig5concurrent (BENCH_fig5_concurrent.json) =="
+# Self-gating: exits nonzero unless concurrent readers coalesced rounds and
+# their mean per-read overhead is at most half the single-reader overhead.
+go run ./cmd/ctsbench -exp fig5concurrent -jsonConcurrent BENCH_fig5_concurrent.json
+
 echo "== ctsload smoke (BENCH_timeserve.json) =="
 go run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve.json
 

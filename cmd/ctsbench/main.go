@@ -9,8 +9,8 @@
 //	ctsbench -exp fig5 -full     # Figure 5 at the paper's 10,000 invocations
 //	ctsbench -exp fig6 -seed 7   # Figure 6 with a different seed
 //
-// Experiments: fig1, fig5, fig6 (6a/6b/6c), msgcounts, rollback, recovery,
-// drift, token, scale, ablation, all.
+// Experiments: fig1, fig5, fig5concurrent (-readers N), fig6 (6a/6b/6c),
+// msgcounts, rollback, recovery, drift, token, scale, ablation, all.
 package main
 
 import (
@@ -29,15 +29,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (fig1|fig5|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
+		exp     = flag.String("exp", "all", "experiment to run (fig1|fig5|fig5concurrent|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
 		seed    = flag.Int64("seed", 2003, "simulation seed")
 		full    = flag.Bool("full", false, "run at the paper's full sizes (10,000 invocations)")
 		trace   = flag.String("trace", "fig5.trace.jsonl", "write the fig5 CCS round trace to this file as JSON lines (empty disables)")
 		jsonOut = flag.String("json", "BENCH_fig5.json", "write the fig5 latency summary to this file as JSON (empty disables)")
+		readers = flag.Int("readers", 8, "concurrent reader threads per replica for the concurrent experiment")
+		jsonCon = flag.String("jsonConcurrent", "BENCH_fig5_concurrent.json", "write the concurrent-reader summary to this file as JSON (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *seed, *full, *trace, *jsonOut); err != nil {
+	if err := run(*exp, *seed, *full, *trace, *jsonOut, *readers, *jsonCon); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsbench:", err)
 		os.Exit(1)
 	}
@@ -79,6 +81,93 @@ func writeFig5JSON(path string, seed int64, invocations int, res *experiment.Fig
 		With:        summarize(&res.With),
 		Without:     summarize(&res.Without),
 		OverheadUS:  float64(res.Overhead()) / float64(time.Microsecond),
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// concurrentRun pairs the multi-reader measurement with its single-reader
+// baseline for rendering, JSON export and the CI amortization gate.
+type concurrentRun struct {
+	multi, single *experiment.Figure5ConcurrentResult
+}
+
+// ratio is the amortization ratio: concurrent per-read overhead over the
+// single-reader per-read overhead (lower is better; 1/readers is ideal).
+func (c *concurrentRun) ratio() float64 {
+	base := c.single.PerReadOverhead()
+	if base <= 0 {
+		return 1
+	}
+	return float64(c.multi.PerReadOverhead()) / float64(base)
+}
+
+func (c *concurrentRun) Render() string {
+	var b strings.Builder
+	b.WriteString(c.multi.Render())
+	b.WriteString(c.single.Render())
+	fmt.Fprintf(&b, "  amortization ratio (concurrent/single per-read overhead): %.3f\n", c.ratio())
+	return b.String()
+}
+
+// gate enforces the CI smoke thresholds: concurrent reads must actually
+// coalesce, and the amortized per-read overhead must be at most half the
+// single-reader overhead.
+func (c *concurrentRun) gate() error {
+	if c.multi.RoundsCoalesced == 0 || c.multi.BatchesSent == 0 {
+		return fmt.Errorf("no round coalescing under %d concurrent readers (coalesced=%d batches=%d)",
+			c.multi.Readers, c.multi.RoundsCoalesced, c.multi.BatchesSent)
+	}
+	if c.multi.Readers >= 2 && c.ratio() > 0.5 {
+		return fmt.Errorf("per-read overhead %v with %d readers is more than half the single-reader overhead %v",
+			c.multi.PerReadOverhead(), c.multi.Readers, c.single.PerReadOverhead())
+	}
+	return nil
+}
+
+// writeConcurrentJSON exports the concurrent-reader measurement for CI
+// tracking.
+func writeConcurrentJSON(path string, seed int64, c *concurrentRun) error {
+	us := func(v time.Duration) float64 { return float64(v) / float64(time.Microsecond) }
+	type side struct {
+		Readers           int     `json:"readers"`
+		OpsPerReader      int     `json:"ops_per_reader"`
+		WallWithUS        float64 `json:"wall_with_cts_us"`
+		WallWithoutUS     float64 `json:"wall_without_cts_us"`
+		PerReadOverheadUS float64 `json:"per_read_overhead_us"`
+	}
+	mk := func(r *experiment.Figure5ConcurrentResult) side {
+		return side{
+			Readers:           r.Readers,
+			OpsPerReader:      r.OpsPerReader,
+			WallWithUS:        us(r.WallWith),
+			WallWithoutUS:     us(r.WallWithout),
+			PerReadOverheadUS: us(r.PerReadOverhead()),
+		}
+	}
+	out := struct {
+		Experiment        string  `json:"experiment"`
+		Seed              int64   `json:"seed"`
+		Concurrent        side    `json:"concurrent"`
+		Single            side    `json:"single_reader"`
+		AmortizationRatio float64 `json:"amortization_ratio"`
+		RoundsCoalesced   uint64  `json:"rounds_coalesced"`
+		BatchesSent       uint64  `json:"batches_sent"`
+		BatchEntries      uint64  `json:"batch_entries"`
+		CCSSent           uint64  `json:"ccs_sent"`
+	}{
+		Experiment:        "fig5_concurrent",
+		Seed:              seed,
+		Concurrent:        mk(c.multi),
+		Single:            mk(c.single),
+		AmortizationRatio: c.ratio(),
+		RoundsCoalesced:   c.multi.RoundsCoalesced,
+		BatchesSent:       c.multi.BatchesSent,
+		BatchEntries:      c.multi.BatchEntries,
+		CCSSent:           c.multi.CCSSent,
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -136,14 +225,17 @@ func runFig5Traced(seed int64, invocations int, traceFile string) (interface{ Re
 	return withSummary{inner: res, extra: extra}, nil
 }
 
-func run(exp string, seed int64, full bool, trace, jsonOut string) error {
+func run(exp string, seed int64, full bool, trace, jsonOut string, readers int, jsonCon string) error {
 	invocations := 1000
 	ops := 1000
+	readsPer := 25
 	if full {
 		invocations = 10000
 		ops = 10000
+		readsPer = 100
 	}
 	var fig5 *experiment.Figure5Result
+	var conc *concurrentRun
 
 	type runner struct {
 		name string
@@ -164,6 +256,18 @@ func run(exp string, seed int64, full bool, trace, jsonOut string) error {
 				fig5 = w.inner.(*experiment.Figure5Result)
 			}
 			return res, err
+		}},
+		{"fig5concurrent", func() (interface{ Render() string }, error) {
+			multi, err := experiment.RunFigure5Concurrent(seed, readers, readsPer)
+			if err != nil {
+				return nil, err
+			}
+			single, err := experiment.RunFigure5Concurrent(seed, 1, readsPer)
+			if err != nil {
+				return nil, err
+			}
+			conc = &concurrentRun{multi: multi, single: single}
+			return conc, nil
 		}},
 		{"fig6", func() (interface{ Render() string }, error) {
 			return experiment.RunFigure6(seed, ops, 20)
@@ -218,6 +322,17 @@ func run(exp string, seed int64, full bool, trace, jsonOut string) error {
 			return fmt.Errorf("write %s: %w", jsonOut, err)
 		}
 		fmt.Printf("fig5 latency summary -> %s\n", jsonOut)
+	}
+	if conc != nil {
+		if jsonCon != "" {
+			if err := writeConcurrentJSON(jsonCon, seed, conc); err != nil {
+				return fmt.Errorf("write %s: %w", jsonCon, err)
+			}
+			fmt.Printf("fig5 concurrent summary -> %s\n", jsonCon)
+		}
+		if err := conc.gate(); err != nil {
+			return fmt.Errorf("fig5concurrent gate: %w", err)
+		}
 	}
 	return nil
 }

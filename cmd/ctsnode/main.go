@@ -171,6 +171,9 @@ func run(rc runConfig) error {
 	if err != nil {
 		return err
 	}
+	// Surface the UDP socket's error counters (udp.read_errors,
+	// udp.send_errors) next to the stack-wide metrics.
+	rec.Register(tr)
 
 	loop := sim.NewLoop()
 	defer loop.Close()

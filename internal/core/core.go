@@ -80,6 +80,12 @@ type Config struct {
 	// ExternalGain is the proportion of the (reference − proposal)
 	// difference applied per round for CompExternal. Default 0.1.
 	ExternalGain float64
+	// DisableBatching forces every proposal onto its own CCS message even
+	// when several rounds are pending at once (for determinism A/B tests and
+	// experiments). Batching only engages when a proposal starts while an
+	// earlier one is still unordered, so uncontended workloads behave
+	// identically either way. Default false (batching on).
+	DisableBatching bool
 	// AgreedCCS delivers CCS messages with agreed instead of safe
 	// semantics. The paper's algorithm relies on the safe-delivery property
 	// ("if the message ... is delivered to any nonfaulty replica, it will
@@ -155,26 +161,33 @@ type Stats struct {
 	CCSSent           uint64 // CCS messages that reached the wire
 	CCSSuppressed     uint64 // CCS sends withdrawn or skipped
 	FromBuffer        uint64 // rounds satisfied by an already-delivered CCS message
+	RoundsCoalesced   uint64 // rounds that shared a batch or were decided while queued
+	BatchesSent       uint64 // CCS-batch messages that reached the wire
+	BatchEntries      uint64 // rounds carried by those batch messages
 	SpecialRounds     uint64
 	MonotonicityFixes uint64 // defensive clamps (0 under fail-stop clocks)
 	TimersFired       uint64 // deterministic group-time timers fired
 }
 
-// pendingRead is a logical thread blocked in get_grp_clock_time.
+// pendingRead is a logical thread blocked in get_grp_clock_time. In-flight
+// proposals are tracked centrally (batch.go), not per read: a batch message
+// covers many reads and is withdrawn only when all of them are decided.
 type pendingRead struct {
 	round    uint64
 	physical time.Duration
 	op       wire.ClockOp
 	complete func(any)
-	cancel   func() bool
 }
 
-// roundMsg is a delivered CCS proposal retained in an input buffer.
+// roundMsg is a delivered CCS proposal retained in an input buffer. batch is
+// the sender-local batch id when the proposal arrived inside a CCS-batch
+// message (0 for a plain CCS message; batch ids start at 1).
 type roundMsg struct {
 	proposed time.Duration
 	op       wire.ClockOp
 	special  bool
 	sender   transport.NodeID
+	batch    uint64
 }
 
 // ccsHandler is the per-thread consistent clock synchronization handler
@@ -203,6 +216,12 @@ type TimeService struct {
 
 	special         ccsHandler // handler for the special (state transfer) rounds
 	pendingCaptures []pendingCapture
+
+	// Batched proposals with round coalescing (batch.go).
+	pendingBatch []wire.CCSBatchEntry
+	flushQueued  bool
+	batchSeq     uint64
+	inflight     map[threadRound]*inflightProposal
 
 	// Deterministic group-time timers (timers.go).
 	timers   []*GroupTimer
@@ -236,6 +255,7 @@ func New(cfg Config) (*TimeService, error) {
 		obs:        cfg.Obs,
 		handlers:   make(map[uint64]*ccsHandler),
 		pendingRnd: make(map[uint64]uint64),
+		inflight:   make(map[threadRound]*inflightProposal),
 		special:    ccsHandler{threadID: specialThreadID, buffer: make(map[uint64]roundMsg)},
 	}
 	cfg.Obs.Register(s)
@@ -325,11 +345,8 @@ func (s *TimeService) beginRead(threadID uint64, op wire.ClockOp, complete func(
 		s.finishRound(h, round, physical, msg, true, complete)
 		return
 	}
-	pr := &pendingRead{round: round, physical: physical, op: op, complete: complete}
-	if s.competes() {
-		pr.cancel = s.sendCCS(threadID, round, local, op, false)
-	}
-	h.waiting = pr
+	h.waiting = &pendingRead{round: round, physical: physical, op: op, complete: complete}
+	s.queueProposal(threadID, round, local, op)
 }
 
 // competes reports whether this replica sends CCS proposals: all replicas
@@ -341,76 +358,49 @@ func (s *TimeService) competes() bool {
 	return s.mgr.IsPrimary()
 }
 
-func (s *TimeService) sendCCS(threadID, round uint64, proposed time.Duration,
-	op wire.ClockOp, special bool) func() bool {
-	var attr string
-	if special {
-		attr = "special"
-	}
-	s.obs.Trace(obs.ScopeCore, obs.EvProposalQueued, threadID, round, int64(proposed), attr)
-	gid := s.mgr.Group()
-	payload := wire.MarshalCCS(wire.CCSPayload{
-		ThreadID: threadID,
-		Proposed: proposed,
-		Op:       op,
-		Special:  special,
-	})
-	cancel, err := s.mgr.Stack().MulticastCancelable(wire.Message{
-		Header: wire.Header{Type: wire.TypeCCS, SrcGroup: gid, DstGroup: gid,
-			Conn: wire.ConnID(threadID & 0xFFFFFFFF), Seq: round},
-		Payload: payload,
-	}, !s.cfg.AgreedCCS)
-	if err != nil {
-		return nil
-	}
-	s.stats.CCSSent++
-	// The proposal is now in the totally-ordered send path; it reaches the
-	// wire at the next token visit unless withdrawn.
-	s.obs.Trace(obs.ScopeCore, obs.EvCCSSent, threadID, round, int64(proposed), attr)
-	return func() bool {
-		if cancel() {
-			s.stats.CCSSent--
-			s.stats.CCSSuppressed++
-			s.obs.Trace(obs.ScopeCore, obs.EvCCSSuppressed, threadID, round, int64(proposed), attr)
-			return true
-		}
-		return false
-	}
-}
-
-// onCCS handles a delivered CCS message (Figure 3).
+// onCCS handles a delivered CCS or CCS-batch message (Figure 3).
 func (s *TimeService) onCCS(msg wire.Message, meta gcs.Meta) {
+	if msg.Type == wire.TypeCCSBatch {
+		s.onCCSBatch(msg, meta)
+		return
+	}
 	p, err := wire.UnmarshalCCS(msg.Payload)
 	if err != nil {
 		return
 	}
-	round := msg.Seq
 	rm := roundMsg{proposed: p.Proposed, op: p.Op, special: p.Special, sender: meta.Sender}
 	if p.Special {
-		s.deliverToHandler(&s.special, round, rm)
+		s.deliverToHandler(&s.special, msg.Seq, rm)
 		return
 	}
-	if p.ThreadID == RefreshThreadID {
+	s.deliverProposal(p.ThreadID, msg.Seq, rm)
+}
+
+// deliverProposal routes one delivered (thread, round) proposal — a plain
+// CCS message or one batch entry — to its handler.
+func (s *TimeService) deliverProposal(threadID, round uint64, rm roundMsg) {
+	if threadID == RefreshThreadID {
 		s.deliverRefresh(round, rm)
 		return
 	}
-	h, ok := s.handlers[p.ThreadID]
+	h, ok := s.handlers[threadID]
 	if !ok {
 		// Lines 3–4 of Figure 3: no matching handler — the thread has not
 		// been created yet; queue in the common input buffer (unless a
 		// restored checkpoint already covers this round).
-		if round <= s.pendingRnd[p.ThreadID] {
+		s.releaseProposal(threadID, round)
+		if round <= s.pendingRnd[threadID] {
 			return
 		}
 		for _, e := range s.common {
-			if e.threadID == p.ThreadID && e.round == round {
+			if e.threadID == threadID && e.round == round {
 				return // duplicate
 			}
 		}
 		rm.proposed = s.guardMonotone(rm.proposed)
-		s.traceFirstOrdered(p.ThreadID, round, rm)
-		s.common = append(s.common, commonEntry{threadID: p.ThreadID, round: round, msg: rm})
-		s.observeGroupValue(p.ThreadID, round, rm)
+		s.traceFirstOrdered(threadID, round, rm)
+		s.common = append(s.common, commonEntry{threadID: threadID, round: round, msg: rm})
+		s.observeGroupValue(threadID, round, rm)
 		return
 	}
 	s.deliverToHandler(h, round, rm)
@@ -418,13 +408,18 @@ func (s *TimeService) onCCS(msg wire.Message, meta gcs.Meta) {
 
 // traceFirstOrdered emits the round-decision event: the first CCS message
 // delivered for a round fixes the group clock value. Attr carries the
-// winning sender.
+// winning sender, plus the sender's batch id when the proposal arrived
+// inside a CCS-batch message.
 func (s *TimeService) traceFirstOrdered(threadID, round uint64, rm roundMsg) {
 	if !s.obs.Tracing() {
 		return
 	}
+	attr := fmt.Sprintf("n%d", rm.sender)
+	if rm.batch != 0 {
+		attr = fmt.Sprintf("n%d b%d", rm.sender, rm.batch)
+	}
 	s.obs.Trace(obs.ScopeCore, obs.EvFirstOrdered, threadID, round,
-		int64(rm.proposed), fmt.Sprintf("n%d", rm.sender))
+		int64(rm.proposed), attr)
 }
 
 // deliverToHandler implements recv_CCS_msg (lines 5–11 of Figure 3) plus the
@@ -434,9 +429,9 @@ func (s *TimeService) traceFirstOrdered(threadID, round uint64, rm roundMsg) {
 func (s *TimeService) deliverToHandler(h *ccsHandler, round uint64, rm roundMsg) {
 	if w := h.waiting; w != nil && w.round == round {
 		h.waiting = nil
-		if w.cancel != nil {
-			w.cancel() // our own proposal lost the race; withdraw it
-		}
+		// The round is decided; withdraw our own proposal for it if it has
+		// not reached the wire yet (batch.go).
+		s.releaseProposal(h.threadID, round)
 		rm.proposed = s.guardMonotone(rm.proposed)
 		s.traceFirstOrdered(h.threadID, round, rm)
 		s.finishRound(h, round, w.physical, rm, true, w.complete)
@@ -448,6 +443,7 @@ func (s *TimeService) deliverToHandler(h *ccsHandler, round uint64, rm roundMsg)
 	if _, dup := h.buffer[round]; dup {
 		return // duplicate of a buffered future round
 	}
+	s.releaseProposal(h.threadID, round)
 	rm.proposed = s.guardMonotone(rm.proposed)
 	s.traceFirstOrdered(h.threadID, round, rm)
 	h.buffer[round] = rm
@@ -572,6 +568,9 @@ func (s *TimeService) ObsSamples() []obs.Sample {
 		{Node: id, Name: "core.ccs_sent", Value: s.stats.CCSSent},
 		{Node: id, Name: "core.ccs_suppressed", Value: s.stats.CCSSuppressed},
 		{Node: id, Name: "core.from_buffer", Value: s.stats.FromBuffer},
+		{Node: id, Name: "core.rounds_coalesced", Value: s.stats.RoundsCoalesced},
+		{Node: id, Name: "core.batches_sent", Value: s.stats.BatchesSent},
+		{Node: id, Name: "core.batch_entries", Value: s.stats.BatchEntries},
 		{Node: id, Name: "core.special_rounds", Value: s.stats.SpecialRounds},
 		{Node: id, Name: "core.monotonicity_fixes", Value: s.stats.MonotonicityFixes},
 		{Node: id, Name: "core.timers_fired", Value: s.stats.TimersFired},

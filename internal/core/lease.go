@@ -269,12 +269,9 @@ func (s *TimeService) refreshLease() {
 	s.lease.refresh.round++
 	s.lease.refreshes++
 	round := s.lease.refresh.round
-	pr := &pendingRead{round: round, physical: physical,
+	s.lease.refresh.waiting = &pendingRead{round: round, physical: physical,
 		op: wire.OpGettimeofday, complete: func(any) {}}
-	if s.competes() {
-		pr.cancel = s.sendCCS(RefreshThreadID, round, local, wire.OpGettimeofday, false)
-	}
-	s.lease.refresh.waiting = pr
+	s.queueProposal(RefreshThreadID, round, local, wire.OpGettimeofday)
 }
 
 // deliverRefresh handles a delivered refresh-round CCS message. Unlike
@@ -286,9 +283,7 @@ func (s *TimeService) deliverRefresh(round uint64, rm roundMsg) {
 	h := &s.lease.refresh
 	if w := h.waiting; w != nil && w.round == round {
 		h.waiting = nil
-		if w.cancel != nil {
-			w.cancel()
-		}
+		s.releaseProposal(RefreshThreadID, round)
 		rm.proposed = s.guardMonotone(rm.proposed)
 		s.traceFirstOrdered(RefreshThreadID, round, rm)
 		s.finishRound(h, round, w.physical, rm, true, w.complete)
@@ -300,11 +295,9 @@ func (s *TimeService) deliverRefresh(round uint64, rm roundMsg) {
 	h.round = round
 	if w := h.waiting; w != nil && w.round < round {
 		// Our in-flight round was overtaken; the overtaking adoption
-		// supersedes it.
+		// supersedes it, so withdraw our proposal for the stale round.
 		h.waiting = nil
-		if w.cancel != nil {
-			w.cancel()
-		}
+		s.releaseProposal(RefreshThreadID, w.round)
 		w.complete(nil)
 	}
 	rm.proposed = s.guardMonotone(rm.proposed)

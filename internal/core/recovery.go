@@ -57,12 +57,13 @@ func (s *TimeService) captureForCheckpoint(done func(extra []byte, groupClock in
 		s.finishRound(&s.special, round, physical, msg, true, finish)
 		return
 	}
-	pr := &pendingRead{round: round, physical: physical,
+	s.special.waiting = &pendingRead{round: round, physical: physical,
 		op: wire.OpGettimeofday, complete: finish}
+	// Special rounds are never batched: they synchronize with a GET_STATE
+	// checkpoint and must stand alone in the total order.
 	if s.competes() {
-		pr.cancel = s.sendCCS(specialThreadID, round, local, wire.OpGettimeofday, true)
+		s.sendSingleCCS(specialThreadID, round, local, wire.OpGettimeofday, true)
 	}
-	s.special.waiting = pr
 }
 
 // consumeSpecial advances the special round counter past rounds this

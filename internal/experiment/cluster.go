@@ -61,6 +61,9 @@ type ClusterConfig struct {
 	// AgreedCCS selects agreed instead of safe delivery for CCS messages
 	// (ModeCTS only; ablation of the paper's safe-delivery requirement).
 	AgreedCCS bool
+	// DisableBatching turns off CCS round coalescing (ModeCTS only; used by
+	// determinism A/B tests and the concurrent-reader experiment).
+	DisableBatching bool
 	// Compensation options (ModeCTS only).
 	Compensation core.Compensation
 	MeanDelay    time.Duration
@@ -210,12 +213,13 @@ func (c *Cluster) addReplica(id transport.NodeID, spec ClockSpec, recovering boo
 	switch c.cfg.Mode {
 	case ModeCTS:
 		ccfg := core.Config{
-			Manager:      mgr,
-			Clock:        clock,
-			AgreedCCS:    c.cfg.AgreedCCS,
-			Compensation: c.cfg.Compensation,
-			MeanDelay:    c.cfg.MeanDelay,
-			ExternalGain: c.cfg.ExternalGain,
+			Manager:         mgr,
+			Clock:           clock,
+			AgreedCCS:       c.cfg.AgreedCCS,
+			DisableBatching: c.cfg.DisableBatching,
+			Compensation:    c.cfg.Compensation,
+			MeanDelay:       c.cfg.MeanDelay,
+			ExternalGain:    c.cfg.ExternalGain,
 			OnRound: func(r core.RoundReport) {
 				c.Reports[id] = append(c.Reports[id], r)
 			},

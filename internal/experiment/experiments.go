@@ -827,6 +827,144 @@ func (r *ScalingResult) Render() string {
 }
 
 // ---------------------------------------------------------------------------
+// E12 — concurrent readers: batched CCS rounds amortize the per-read cost.
+// ---------------------------------------------------------------------------
+
+// Figure5ConcurrentResult reports the concurrent-reader variant of Figure 5:
+// `Readers` logical threads per replica each perform `OpsPerReader` clock
+// reads back to back, with and without the consistent time service. With
+// round coalescing, concurrent rounds share CCS-batch messages, so the wall
+// time for the whole workload stays close to a single reader's and the mean
+// per-read overhead drops roughly by the reader count.
+type Figure5ConcurrentResult struct {
+	Readers      int
+	OpsPerReader int
+	// WallWith/WallWithout are the virtual times from spawning the readers to
+	// the last thread's completion, with the time service and with raw local
+	// clocks respectively.
+	WallWith    time.Duration
+	WallWithout time.Duration
+	// Coalescing counters of the ModeCTS run, summed over the replicas.
+	RoundsCoalesced uint64
+	BatchesSent     uint64
+	BatchEntries    uint64
+	CCSSent         uint64
+}
+
+// PerReadOverhead reports the mean time the service adds per logical read
+// (the workload is Readers×OpsPerReader logical reads, each executed by
+// every replica).
+func (r *Figure5ConcurrentResult) PerReadOverhead() time.Duration {
+	total := r.Readers * r.OpsPerReader
+	if total == 0 {
+		return 0
+	}
+	d := r.WallWith - r.WallWithout
+	if d < 0 {
+		d = 0
+	}
+	return d / time.Duration(total)
+}
+
+// RunFigure5Concurrent measures the amortized per-read cost of the time
+// service under `readers` concurrent reader threads per replica, each
+// performing `opsPerReader` consecutive reads. Compare against a readers=1
+// run to see the coalescing gain.
+func RunFigure5Concurrent(seed int64, readers, opsPerReader int) (*Figure5ConcurrentResult, error) {
+	if readers < 1 || opsPerReader < 1 {
+		return nil, fmt.Errorf("figure5-concurrent: readers (%d) and ops per reader (%d) must be positive",
+			readers, opsPerReader)
+	}
+	res := &Figure5ConcurrentResult{Readers: readers, OpsPerReader: opsPerReader}
+	for _, mode := range []TimeMode{ModeCTS, ModeLocal} {
+		cc := ClusterConfig{
+			Seed:     seed,
+			Replicas: testbedClocks(),
+			Style:    replication.Active,
+			Mode:     mode,
+		}
+		if mode == ModeCTS {
+			cc.Observe = true
+		}
+		c, err := NewCluster(cc)
+		if err != nil {
+			return nil, err
+		}
+		wall, err := runConcurrentReaders(c, readers, opsPerReader)
+		if err != nil {
+			return nil, err
+		}
+		if mode == ModeCTS {
+			res.WallWith = wall
+			for _, s := range c.Obs.Samples() {
+				switch s.Name {
+				case "core.rounds_coalesced":
+					res.RoundsCoalesced += s.Value
+				case "core.batches_sent":
+					res.BatchesSent += s.Value
+				case "core.batch_entries":
+					res.BatchEntries += s.Value
+				case "core.ccs_sent":
+					res.CCSSent += s.Value
+				}
+			}
+		} else {
+			res.WallWithout = wall
+		}
+	}
+	return res, nil
+}
+
+// runConcurrentReaders spawns `readers` logical threads on every replica of
+// c — in identical order, so thread identifiers agree across replicas — each
+// performing `ops` consecutive clock reads. It reports the virtual time from
+// the spawn to the last thread's completion. The per-thread completion
+// bookkeeping is mutated from the reader threads and read between RunUntil
+// steps, which the strict thread/loop alternation makes race-free.
+func runConcurrentReaders(c *Cluster, readers, ops int) (time.Duration, error) {
+	replicas := make([]transport.NodeID, 0, len(c.Mgrs))
+	for id := range c.Mgrs {
+		replicas = append(replicas, id)
+	}
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i] < replicas[j] })
+	remaining := len(replicas) * readers
+	var finish time.Duration
+	start := c.K.Now()
+	for _, id := range replicas {
+		app := c.Apps[id]
+		for r := 0; r < readers; r++ {
+			c.Mgrs[id].SpawnThread(func(ctx *replication.Ctx) {
+				for j := 0; j < ops; j++ {
+					app.read(ctx)
+				}
+				remaining--
+				if now := c.K.Now(); now > finish {
+					finish = now
+				}
+			})
+		}
+	}
+	budget := time.Duration(readers*ops)*10*time.Millisecond + 5*time.Second
+	if !c.RunUntil(budget, func() bool { return remaining == 0 }) {
+		return 0, fmt.Errorf("concurrent readers: %d thread(s) unfinished", remaining)
+	}
+	return finish - start, nil
+}
+
+// Render formats the concurrent-reader measurement.
+func (r *Figure5ConcurrentResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 (concurrent) — %d readers × %d reads per replica\n",
+		r.Readers, r.OpsPerReader)
+	fmt.Fprintf(&b, "  with CTS:    %v wall\n", r.WallWith)
+	fmt.Fprintf(&b, "  without CTS: %v wall\n", r.WallWithout)
+	fmt.Fprintf(&b, "  mean per-read overhead: %v\n", r.PerReadOverhead())
+	fmt.Fprintf(&b, "  rounds coalesced: %d, batches: %d (entries %d), CCS messages sent: %d\n",
+		r.RoundsCoalesced, r.BatchesSent, r.BatchEntries, r.CCSSent)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
 // Ablation — safe vs agreed delivery for CCS messages.
 // ---------------------------------------------------------------------------
 

@@ -66,6 +66,11 @@ const (
 	// membership change; Round carries the new lease epoch and Value the new
 	// view size.
 	EvLeaseInvalidated = "lease_invalidated"
+	// EvBatchSent marks a CCS-batch message entering the totally-ordered send
+	// path, carrying proposals for several coalesced rounds. Round carries the
+	// sender-local batch id (the b<id> attr on the member rounds' ccs_sent and
+	// first_ordered events) and Value the number of entries.
+	EvBatchSent = "ccs_batch_sent"
 )
 
 // Sub-span events emitted by the totem layer (ScopeTotem). Round carries the

@@ -178,6 +178,13 @@ type Node struct {
 	consensusTimer sim.Canceler
 	commitTimer    sim.Canceler
 	announceTimer  sim.Canceler
+	// timerEpoch is bumped by cancelAllTimers; a timer callback armed under
+	// an older epoch is dropped when it fires. This closes the real-time
+	// runtime's race where a timer fires concurrently with Cancel and its
+	// already-posted callback outlives the cancellation (sim.Loop cannot
+	// recall a fired post), so no protocol timer can act — or re-arm —
+	// after Stop.
+	timerEpoch uint64
 
 	totalOrder uint64
 
@@ -674,7 +681,7 @@ func (n *Node) forwardToken(tk *Token) {
 
 func (n *Node) armRetransTimer() {
 	n.cancelTimer(&n.retransTimer)
-	n.retransTimer = n.rt.After(n.cfg.TokenRetransTimeout, n.retransmitToken)
+	n.retransTimer = n.afterGuarded(n.cfg.TokenRetransTimeout, n.retransmitToken)
 }
 
 func (n *Node) retransmitToken() {
@@ -689,12 +696,12 @@ func (n *Node) retransmitToken() {
 	if succ != n.me {
 		_ = n.tr.Send(succ, n.retained)
 	}
-	n.retransTimer = n.rt.After(n.cfg.TokenRetransTimeout, n.retransmitToken)
+	n.retransTimer = n.afterGuarded(n.cfg.TokenRetransTimeout, n.retransmitToken)
 }
 
 func (n *Node) armLossTimer() {
 	n.cancelTimer(&n.lossTimer)
-	n.lossTimer = n.rt.After(n.cfg.TokenLossTimeout, func() {
+	n.lossTimer = n.afterGuarded(n.cfg.TokenLossTimeout, func() {
 		if n.state != stateOperational && n.state != stateRecover {
 			return
 		}
@@ -720,6 +727,7 @@ func (n *Node) cancelTimer(t *sim.Canceler) {
 }
 
 func (n *Node) cancelAllTimers() {
+	n.timerEpoch++
 	n.cancelTimer(&n.retransTimer)
 	n.cancelTimer(&n.lossTimer)
 	n.cancelTimer(&n.consensusTimer)
@@ -727,11 +735,26 @@ func (n *Node) cancelAllTimers() {
 	n.cancelTimer(&n.announceTimer)
 }
 
+// afterGuarded arms a protocol timer: the callback is dropped if the node
+// stopped or cancelAllTimers ran (epoch bump) between arming and firing.
+// Every timer callback still checks the specific state it needs; the epoch
+// guard is the structural backstop for already-fired timers whose posted
+// callbacks Cancel cannot recall.
+func (n *Node) afterGuarded(d time.Duration, fn func()) sim.Canceler {
+	epoch := n.timerEpoch
+	return n.rt.After(d, func() {
+		if n.state == stateStopped || n.timerEpoch != epoch {
+			return
+		}
+		fn()
+	})
+}
+
 // armAnnounceTimer schedules the periodic ring beacon; only the
 // representative of an operational ring announces.
 func (n *Node) armAnnounceTimer() {
 	n.cancelTimer(&n.announceTimer)
-	n.announceTimer = n.rt.After(n.cfg.AnnounceInterval, func() {
+	n.announceTimer = n.afterGuarded(n.cfg.AnnounceInterval, func() {
 		if n.state != stateOperational || n.me != n.ring.Rep {
 			return
 		}

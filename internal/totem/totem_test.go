@@ -666,3 +666,63 @@ func TestHelperFunctions(t *testing.T) {
 		t.Fatal("RingID.Less ordering")
 	}
 }
+
+// countingTransport wraps a transport and counts outgoing datagrams; the
+// counter is only touched on the kernel loop and read between run steps.
+type countingTransport struct {
+	transport.Transport
+	sends int
+}
+
+func (c *countingTransport) Send(to transport.NodeID, p []byte) error {
+	c.sends++
+	return c.Transport.Send(to, p)
+}
+
+func (c *countingTransport) Broadcast(p []byte) error {
+	c.sends++
+	return c.Transport.Broadcast(p)
+}
+
+// TestNoTimerActivityAfterStop is the regression test for the protocol
+// timers' stop discipline: a node left alone retransmitting the token (its
+// successor is partitioned away, the loss timeout is far off) keeps a
+// self-re-arming retransmission timer running. After Stop, no timer may act
+// or re-arm — the node must fall completely silent, even though timer
+// callbacks that already fired can still be delivered after cancellation.
+func TestNoTimerActivityAfterStop(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	ids := nodeIDs(2)
+	const retrans = 500 * time.Microsecond
+	ctr := &countingTransport{Transport: h.net.Endpoint(ids[0])}
+	tune := func(c *Config) {
+		c.TokenRetransTimeout = retrans
+		c.TokenLossTimeout = 30 * time.Second // keep membership changes out
+		c.AnnounceInterval = time.Millisecond
+	}
+	h.addNode(ids[0], ids, true, tune, func(c *Config) { c.Transport = ctr })
+	h.addNode(ids[1], ids, true, tune)
+	h.startAll()
+	if !h.runUntil(time.Second, func() bool {
+		return len(h.views[0]) > 0 && len(h.views[1]) > 0
+	}) {
+		t.Fatal("ring never formed")
+	}
+
+	// Cut off the successor: node 0's forwarded tokens vanish, so its
+	// retransmission timer keeps firing and re-arming.
+	h.net.Endpoint(ids[1]).SetDown(true)
+	before := ctr.sends
+	h.k.RunFor(20 * retrans)
+	if ctr.sends <= before {
+		t.Fatal("partitioned node never retransmitted; the test exercises nothing")
+	}
+
+	h.nodes[0].Stop()
+	h.k.RunFor(time.Millisecond) // drain the stop post and in-flight callbacks
+	quiesced := ctr.sends
+	h.k.RunFor(20 * retrans)
+	if ctr.sends != quiesced {
+		t.Fatalf("node sent %d datagram(s) after Stop", ctr.sends-quiesced)
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"cts/internal/obs"
 	"cts/internal/transport"
 )
 
@@ -45,6 +47,14 @@ type Transport struct {
 	effRecvBuf int // effective SO_RCVBUF as reported by the kernel
 	effSendBuf int // effective SO_SNDBUF as reported by the kernel
 
+	// readFrom is the receive primitive of the read loop, split out so tests
+	// can inject transient socket errors. Set once in New, before the read
+	// goroutine starts.
+	readFrom func([]byte) (int, *net.UDPAddr, error)
+
+	readErrors atomic.Uint64 // transient receive failures the loop survived
+	sendErrors atomic.Uint64 // failed datagram sends, summed over peers
+
 	mu     sync.Mutex
 	peers  map[transport.NodeID]*net.UDPAddr
 	recv   transport.Receiver
@@ -58,8 +68,14 @@ var _ transport.Transport = (*Transport)(nil)
 // Option configures a Transport.
 type Option func(*options)
 
+// readFromFunc is the receive primitive of the read loop.
+type readFromFunc func([]byte) (int, *net.UDPAddr, error)
+
 type options struct {
 	recvBuf, sendBuf int
+	// wrapReadFrom, when set, wraps the read loop's receive primitive —
+	// test-only seam for injecting transient socket errors.
+	wrapReadFrom func(readFromFunc) readFromFunc
 }
 
 // WithSocketBuffers requests SO_RCVBUF/SO_SNDBUF sizes (the kernel may
@@ -100,6 +116,10 @@ func New(id transport.NodeID, bindAddr string, opts ...Option) (*Transport, erro
 		done:  make(chan struct{}),
 	}
 	tr.frames.New = func() any { return make([]byte, 0, 2048) }
+	tr.readFrom = conn.ReadFromUDP
+	if o.wrapReadFrom != nil {
+		tr.readFrom = o.wrapReadFrom(tr.readFrom)
+	}
 	tr.effRecvBuf, tr.effSendBuf = effectiveBufferSizes(conn)
 	go tr.readLoop()
 	return tr, nil
@@ -152,7 +172,7 @@ func (t *Transport) Send(to transport.NodeID, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownPeer, to)
 	}
-	return t.writeTo(addr, payload)
+	return t.writeTo(to, addr, payload)
 }
 
 // Broadcast implements transport.Transport.
@@ -174,25 +194,43 @@ func (t *Transport) Broadcast(payload []byte) error {
 	}
 	t.mu.Unlock()
 	sort.Slice(dests, func(i, j int) bool { return dests[i].id < dests[j].id })
-	var firstErr error
+	// Attempt every peer even after a failure — a broadcast that stops at the
+	// first bad peer would silently skip the rest of the ring — and report
+	// every failed destination, not just the first.
+	var errs []error
 	for _, d := range dests {
-		if err := t.writeTo(d.addr, payload); err != nil && firstErr == nil {
-			firstErr = err
+		if err := t.writeTo(d.id, d.addr, payload); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
-func (t *Transport) writeTo(addr *net.UDPAddr, payload []byte) error {
+func (t *Transport) writeTo(to transport.NodeID, addr *net.UDPAddr, payload []byte) error {
 	frame := t.frames.Get().([]byte)[:0]
 	frame = binary.BigEndian.AppendUint32(frame, uint32(t.id))
 	frame = append(frame, payload...)
 	_, err := t.conn.WriteToUDP(frame, addr)
 	t.frames.Put(frame) //nolint:staticcheck // slice header boxing is fine here
 	if err != nil {
-		return fmt.Errorf("udptransport: send to %v: %w", addr, err)
+		t.sendErrors.Add(1)
+		return fmt.Errorf("udptransport: send to node %v (%v): %w", to, addr, err)
 	}
 	return nil
+}
+
+// ObsNode implements obs.Source.
+func (t *Transport) ObsNode() uint32 { return uint32(t.id) }
+
+// ObsSamples implements obs.Source, exposing the transport's error counters
+// (udp.read_errors, udp.send_errors). Unlike the loop-confined stack
+// sources, these counters are atomics, so gathering is safe from any
+// goroutine.
+func (t *Transport) ObsSamples() []obs.Sample {
+	return []obs.Sample{
+		{Node: uint32(t.id), Name: "udp.read_errors", Value: t.readErrors.Load()},
+		{Node: uint32(t.id), Name: "udp.send_errors", Value: t.sendErrors.Load()},
+	}
 }
 
 // Close implements transport.Transport. It stops the read loop and waits for
@@ -215,9 +253,16 @@ func (t *Transport) readLoop() {
 	defer close(t.done)
 	buf := make([]byte, maxDatagram)
 	for {
-		n, _, err := t.conn.ReadFromUDP(buf)
+		n, _, err := t.readFrom(buf)
 		if err != nil {
-			return // closed (or fatally broken) socket ends the loop
+			if errors.Is(err, net.ErrClosed) {
+				return // Close tore down the socket; end the loop
+			}
+			// Transient receive failure (ICMP-induced errors, EINTR,
+			// momentary resource exhaustion): one bad datagram must not
+			// silence the node for good. Count it and keep serving.
+			t.readErrors.Add(1)
+			continue
 		}
 		if n < frameHeaderLen {
 			continue // runt frame

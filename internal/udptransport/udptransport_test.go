@@ -2,7 +2,11 @@ package udptransport
 
 import (
 	"errors"
+	"fmt"
+	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -215,5 +219,114 @@ func TestSocketBufferSizes(t *testing.T) {
 	// doubled); all we require is that the readback works at all there.
 	if recv <= 0 || send <= 0 {
 		t.Skipf("platform reports no effective buffer sizes (recv=%d send=%d)", recv, send)
+	}
+}
+
+// obsCounter reads one of the transport's error counters by name.
+func obsCounter(t *testing.T, tr *Transport, name string) uint64 {
+	t.Helper()
+	for _, s := range tr.ObsSamples() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("counter %q not exposed", name)
+	return 0
+}
+
+// TestReadLoopSurvivesTransientErrors injects transient receive errors ahead
+// of real datagrams: the read loop must count them and keep serving instead
+// of exiting on the first failure, and must still shut down cleanly on Close
+// (which the Cleanup verifies — a loop that ignored net.ErrClosed would hang
+// it).
+func TestReadLoopSurvivesTransientErrors(t *testing.T) {
+	const transientErrs = 3
+	var injected atomic.Uint64
+	inject := func(o *options) {
+		o.wrapReadFrom = func(real readFromFunc) readFromFunc {
+			return func(b []byte) (int, *net.UDPAddr, error) {
+				if injected.Add(1) <= transientErrs {
+					return 0, nil, errors.New("simulated transient receive failure")
+				}
+				return real(b)
+			}
+		}
+	}
+	tr, err := New(1, "127.0.0.1:0", inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	sender, err := New(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sender.Close() })
+	if err := sender.SetPeer(1, tr.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	tr.SetReceiver(c.receiver)
+
+	if err := sender.Send(1, []byte("after the storm")); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t, 1)
+	c.mu.Lock()
+	if c.from[0] != 0 || c.data[0] != "after the storm" {
+		t.Fatalf("got from=%v data=%q", c.from[0], c.data[0])
+	}
+	c.mu.Unlock()
+	if got := obsCounter(t, tr, "udp.read_errors"); got != transientErrs {
+		t.Fatalf("udp.read_errors = %d, want %d", got, transientErrs)
+	}
+}
+
+// TestBroadcastPartialFailure gives the sender one unreachable peer (an IPv6
+// destination through its IPv4-bound socket) sorted ahead of a healthy one:
+// the broadcast must still reach the healthy peer, report the failed peer by
+// node id, and count the failure.
+func TestBroadcastPartialFailure(t *testing.T) {
+	sender, err := New(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sender.Close() })
+	good, err := New(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { good.Close() })
+
+	// Peer 1 (sorted first, so its failure precedes the healthy send) points
+	// at an IPv6 address the IPv4-bound socket cannot reach.
+	if err := sender.SetPeer(1, "[::1]:9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.SetPeer(2, good.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	good.SetReceiver(c.receiver)
+
+	err = sender.Broadcast([]byte("partial"))
+	if err == nil {
+		t.Fatal("broadcast to an unreachable peer reported no error")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("node %v", transport.NodeID(1))) {
+		t.Fatalf("error does not name the failed peer: %v", err)
+	}
+	// The failure on peer 1 must not have short-circuited peer 2's send.
+	c.wait(t, 1)
+	c.mu.Lock()
+	if c.from[0] != 0 || c.data[0] != "partial" {
+		t.Fatalf("got from=%v data=%q", c.from[0], c.data[0])
+	}
+	c.mu.Unlock()
+	if got := obsCounter(t, sender, "udp.send_errors"); got != 1 {
+		t.Fatalf("udp.send_errors = %d, want 1", got)
+	}
+	if got := obsCounter(t, sender, "udp.read_errors"); got != 0 {
+		t.Fatalf("udp.read_errors = %d, want 0", got)
 	}
 }

@@ -32,6 +32,11 @@ const (
 	TypeReply
 	TypeGetState
 	TypeCheckpoint
+	// TypeCCSBatch carries proposals for several pending CCS rounds in one
+	// totally-ordered message (round coalescing). Added after the original
+	// five types, so every earlier message keeps its encoding — old and new
+	// nodes agree on all shared message types.
+	TypeCCSBatch
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +52,8 @@ func (t MsgType) String() string {
 		return "GET_STATE"
 	case TypeCheckpoint:
 		return "CHECKPOINT"
+	case TypeCCSBatch:
+		return "CCS_BATCH"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -219,6 +226,85 @@ func UnmarshalCCS(b []byte) (CCSPayload, error) {
 		Op:       ClockOp(b[16]),
 		Special:  b[17] == 1,
 	}, nil
+}
+
+// CCSBatchEntry is one pending round carried by a CCS-batch message: the
+// proposing thread, its round number, and the local clock value proposed for
+// the group clock. The first-ordered batch decides every round it lists,
+// entries applied in listed order, which preserves the §3 first-wins rule
+// per round (see DESIGN.md §9). Special rounds (§3.2 state transfer) are
+// never batched, so the entry carries no Special flag.
+type CCSBatchEntry struct {
+	ThreadID uint64
+	Round    uint64
+	Proposed time.Duration
+	Op       ClockOp
+}
+
+const (
+	ccsBatchVersion   = 1
+	ccsBatchHeaderLen = 1 + 2 // version, entry count
+	ccsBatchEntryLen  = 8 + 8 + 8 + 1
+	// MaxCCSBatchEntries bounds one batch message (the uint16 count field
+	// is the hard ceiling; real batches are far smaller).
+	MaxCCSBatchEntries = math.MaxUint16
+)
+
+// ErrEmptyBatch is returned for a CCS batch with no entries; a batch is only
+// sent when at least two rounds coalesce, so an empty one is a bug.
+var ErrEmptyBatch = errors.New("wire: empty CCS batch")
+
+// MarshalCCSBatch encodes a CCS-batch payload: a version byte, a big-endian
+// entry count, and the fixed-width entries in sender order.
+func MarshalCCSBatch(entries []CCSBatchEntry) ([]byte, error) {
+	if len(entries) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(entries) > MaxCCSBatchEntries {
+		return nil, fmt.Errorf("%w: %d batch entries", ErrOversize, len(entries))
+	}
+	buf := make([]byte, ccsBatchHeaderLen+ccsBatchEntryLen*len(entries))
+	buf[0] = ccsBatchVersion
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(entries)))
+	off := ccsBatchHeaderLen
+	for _, e := range entries {
+		binary.BigEndian.PutUint64(buf[off:], e.ThreadID)
+		binary.BigEndian.PutUint64(buf[off+8:], e.Round)
+		binary.BigEndian.PutUint64(buf[off+16:], uint64(e.Proposed))
+		buf[off+24] = byte(e.Op)
+		off += ccsBatchEntryLen
+	}
+	return buf, nil
+}
+
+// UnmarshalCCSBatch decodes a CCS-batch payload produced by MarshalCCSBatch.
+func UnmarshalCCSBatch(b []byte) ([]CCSBatchEntry, error) {
+	if len(b) < ccsBatchHeaderLen {
+		return nil, fmt.Errorf("%w: CCS batch %d bytes", ErrShortMessage, len(b))
+	}
+	if b[0] != ccsBatchVersion {
+		return nil, fmt.Errorf("%w: CCS batch version %d", ErrBadVersion, b[0])
+	}
+	n := int(binary.BigEndian.Uint16(b[1:]))
+	if n == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(b) != ccsBatchHeaderLen+ccsBatchEntryLen*n {
+		return nil, fmt.Errorf("%w: CCS batch says %d entries, have %d bytes",
+			ErrTruncated, n, len(b)-ccsBatchHeaderLen)
+	}
+	entries := make([]CCSBatchEntry, n)
+	off := ccsBatchHeaderLen
+	for i := range entries {
+		entries[i] = CCSBatchEntry{
+			ThreadID: binary.BigEndian.Uint64(b[off:]),
+			Round:    binary.BigEndian.Uint64(b[off+8:]),
+			Proposed: time.Duration(binary.BigEndian.Uint64(b[off+16:])),
+			Op:       ClockOp(b[off+24]),
+		}
+		off += ccsBatchEntryLen
+	}
+	return entries, nil
 }
 
 // RequestPayload is a remote method invocation carried to a server group.

@@ -138,6 +138,137 @@ func TestCCSPayloadWrongLength(t *testing.T) {
 	}
 }
 
+func TestCCSBatchRoundTrip(t *testing.T) {
+	entries := []CCSBatchEntry{
+		{ThreadID: 2, Round: 7, Proposed: 8 * time.Hour, Op: OpGettimeofday},
+		{ThreadID: 3, Round: 1, Proposed: -250 * time.Microsecond, Op: OpTime},
+		{ThreadID: ^uint64(0), Round: ^uint64(0), Proposed: 1, Op: OpFtime},
+	}
+	b, err := MarshalCCSBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCCSBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestCCSBatchRoundTripProperty(t *testing.T) {
+	f := func(tids, rounds []uint64, proposed []int64, ops []uint8) bool {
+		n := len(tids)
+		for _, l := range []int{len(rounds), len(proposed), len(ops)} {
+			if l < n {
+				n = l
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		entries := make([]CCSBatchEntry, n)
+		for i := range entries {
+			entries[i] = CCSBatchEntry{ThreadID: tids[i], Round: rounds[i],
+				Proposed: time.Duration(proposed[i]), Op: ClockOp(ops[i])}
+		}
+		b, err := MarshalCCSBatch(entries)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalCCSBatch(b)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range entries {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCSBatchErrors(t *testing.T) {
+	valid, err := MarshalCCSBatch([]CCSBatchEntry{{ThreadID: 2, Round: 1, Op: OpGettimeofday}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := MarshalCCSBatch(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("marshal empty: err = %v, want ErrEmptyBatch", err)
+	}
+
+	tests := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"short", valid[:2], ErrShortMessage},
+		{"nil", nil, ErrShortMessage},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] = 9
+			return b
+		}(), ErrBadVersion},
+		{"zero entries", []byte{ccsBatchVersion, 0, 0}, ErrEmptyBatch},
+		{"truncated entry", valid[:len(valid)-1], ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xAB), ErrTruncated},
+		{"count overstates", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[2] = 2 // claims two entries, carries one
+			return b
+		}(), ErrTruncated},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalCCSBatch(tt.b); !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCCSBatchInsideMessage(t *testing.T) {
+	// A batch rides the standard message framing like any other payload.
+	payload, err := MarshalCCSBatch([]CCSBatchEntry{
+		{ThreadID: 2, Round: 4, Proposed: time.Minute, Op: OpGettimeofday},
+		{ThreadID: 4, Round: 9, Proposed: time.Hour, Op: OpGettimeofday},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Message{Header: Header{Type: TypeCCSBatch, SrcGroup: 7, DstGroup: 7,
+		Conn: 1, Seq: 3}, Payload: payload}
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeCCSBatch {
+		t.Fatalf("type = %v, want CCS_BATCH", got.Type)
+	}
+	entries, err := UnmarshalCCSBatch(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Round != 9 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
 func TestRequestRoundTrip(t *testing.T) {
 	p := RequestPayload{InvocationID: 99, ClientNode: 4, Method: "CurrentTime",
 		Body: []byte{1, 2, 3}}
@@ -287,7 +418,7 @@ func TestMsgTypeStrings(t *testing.T) {
 	}{
 		{TypeCCS, "CCS"}, {TypeRequest, "REQUEST"}, {TypeReply, "REPLY"},
 		{TypeGetState, "GET_STATE"}, {TypeCheckpoint, "CHECKPOINT"},
-		{MsgType(200), "MsgType(200)"},
+		{TypeCCSBatch, "CCS_BATCH"}, {MsgType(200), "MsgType(200)"},
 	} {
 		if got := tt.typ.String(); got != tt.want {
 			t.Errorf("%d.String() = %q, want %q", tt.typ, got, tt.want)
