@@ -26,8 +26,12 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs the full suite under the default (Totem) orderer, then reruns
+# the experiment suite over the leader-sequencer; Totem-specific tests skip
+# themselves via totemOnly.
 race:
 	$(GO) test -race -count=1 ./...
+	$(GO) test -race -count=1 ./internal/experiment -orderer=seq
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

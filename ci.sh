@@ -25,6 +25,12 @@ go build ./...
 echo "== go test -race =="
 go test -race -count=1 ./...
 
+echo "== go test -race (experiments under -orderer=seq) =="
+# The experiment suite reruns over the leader-sequencer orderer; tests that
+# pin Totem wire behavior (token timing, suppression counts, rotation)
+# skip themselves via totemOnly.
+go test -race -count=1 ./internal/experiment -orderer=seq
+
 echo "== ctsbench fig5 (BENCH_fig5.json) =="
 go run ./cmd/ctsbench -exp fig5 -trace fig5.trace.jsonl -json BENCH_fig5.json
 

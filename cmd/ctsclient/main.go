@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cts/internal/gcs"
+	"cts/internal/order"
 	"cts/internal/rpc"
 	"cts/internal/sim"
 	"cts/internal/stats"
@@ -29,14 +30,20 @@ const (
 
 func main() {
 	var (
-		id    = flag.Uint("id", 0, "this processor's node id")
-		peers = flag.String("peers", "", "comma-separated id=host:port list for every ring member")
-		n     = flag.Int("n", 10, "number of invocations")
-		gap   = flag.Duration("gap", 10*time.Millisecond, "pause between invocations")
-		quiet = flag.Bool("q", false, "print only the summary")
+		id          = flag.Uint("id", 0, "this processor's node id")
+		peers       = flag.String("peers", "", "comma-separated id=host:port list for every group member")
+		n           = flag.Int("n", 10, "number of invocations")
+		gap         = flag.Duration("gap", 10*time.Millisecond, "pause between invocations")
+		quiet       = flag.Bool("q", false, "print only the summary")
+		ordererName = flag.String("orderer", "totem", "total-order protocol: totem|seq (must match the server group)")
 	)
 	flag.Parse()
-	if err := run(uint32(*id), *peers, *n, *gap, *quiet); err != nil {
+	orderer, err := order.ParseKind(*ordererName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctsclient:", err)
+		os.Exit(2)
+	}
+	if err := run(uint32(*id), *peers, *n, *gap, *quiet, orderer); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsclient:", err)
 		os.Exit(1)
 	}
@@ -64,7 +71,7 @@ func parsePeers(s string) (map[transport.NodeID]string, error) {
 	return out, nil
 }
 
-func run(id uint32, peerSpec string, n int, gap time.Duration, quiet bool) error {
+func run(id uint32, peerSpec string, n int, gap time.Duration, quiet bool, orderer order.Kind) error {
 	peers, err := parsePeers(peerSpec)
 	if err != nil {
 		return err
@@ -93,10 +100,11 @@ func run(id uint32, peerSpec string, n int, gap time.Duration, quiet bool) error
 	loop := sim.NewLoop()
 	defer loop.Close()
 	stack, err := gcs.New(gcs.Config{
-		Runtime:     loop,
-		Transport:   tr,
-		RingMembers: ring,
-		Bootstrap:   true,
+		Runtime:   loop,
+		Transport: tr,
+		Members:   ring,
+		Bootstrap: true,
+		Order:     order.Options{Kind: orderer},
 	})
 	if err != nil {
 		return err

@@ -10,9 +10,10 @@
 //	ctsnode -id 3 -peers ... &
 //	ctsclient -id 0 -peers ...
 //
-// The -peers list names every processor in the ring (clients included).
+// The -peers list names every processor in the group (clients included).
 // Flags -style (active|passive|semiactive) and -recover (join an existing
-// group via state transfer) select the replication behavior. Observability:
+// group via state transfer) select the replication behavior; -orderer picks
+// the total-order protocol (totem or seq) and must agree across the group. Observability:
 // -v logs structured round/view lines, -trace FILE exports the CCS round
 // trace as JSON lines, and -metrics D dumps the stack-wide counters every D.
 package main
@@ -37,6 +38,7 @@ func main() {
 		id        = flag.Uint("id", 1, "this processor's node id")
 		peers     = flag.String("peers", "", "comma-separated id=host:port list for every ring member")
 		style     = flag.String("style", "active", "replication style: active|passive|semiactive")
+		orderer   = flag.String("orderer", "totem", "total-order protocol: totem|seq (must match every group member)")
 		recover   = flag.Bool("recover", false, "join an existing group via state transfer")
 		verbose   = flag.Bool("v", false, "log rounds and views as structured key=value lines")
 		traceFile = flag.String("trace", "", "write the CCS round trace to this file as JSON lines")
@@ -48,7 +50,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(runConfig{
-		id: uint32(*id), peers: *peers, style: *style, recovering: *recover,
+		id: uint32(*id), peers: *peers, style: *style, orderer: *orderer, recovering: *recover,
 		verbose: *verbose, traceFile: *traceFile, metricsEvery: *metrics,
 		serve: *serve, serveShards: *serveShards, lease: *lease,
 	}); err != nil {
@@ -62,6 +64,7 @@ type runConfig struct {
 	id           uint32
 	peers        string
 	style        string
+	orderer      string
 	recovering   bool
 	verbose      bool
 	traceFile    string
@@ -119,6 +122,13 @@ func run(rc runConfig) error {
 	style, err := parseStyle(rc.style)
 	if err != nil {
 		return err
+	}
+	orderer, err := cts.ParseOrdererKind(rc.orderer)
+	if err != nil {
+		return err
+	}
+	if orderer == cts.OrdererInstant {
+		return fmt.Errorf("the instant orderer is simulation-only; pick totem or seq")
 	}
 	self, ok := peers[transport.NodeID(id)]
 	if !ok {
@@ -181,7 +191,8 @@ func run(rc runConfig) error {
 	opts := []cts.Option{
 		cts.WithRuntime(loop),
 		cts.WithTransport(tr),
-		cts.WithRingMembers(ring),
+		cts.WithMembers(ring),
+		cts.WithOrderer(cts.OrdererOptions{Kind: orderer}),
 		cts.WithStyle(style),
 		cts.WithRecovering(rc.recovering),
 		cts.WithObservability(rec),

@@ -5,13 +5,16 @@
 //
 // A Service bundles a replication manager and a consistent time service on
 // top of a group-communication stack. The caller supplies an event loop and
-// either a ready gcs stack (WithStack) or a transport plus ring membership
-// (WithTransport, WithRingMembers) from which the facade builds one:
+// either a ready gcs stack (WithStack) or a transport plus membership
+// (WithTransport, WithMembers) from which the facade builds one; WithOrderer
+// selects the total-order protocol underneath (Totem single ring by
+// default, or the leader sequencer for low-latency LAN groups):
 //
 //	svc, err := cts.New(
 //		cts.WithRuntime(loop),
 //		cts.WithTransport(tr),
-//		cts.WithRingMembers(ring),
+//		cts.WithMembers(members),
+//		cts.WithOrderer(cts.OrdererOptions{Kind: cts.OrdererSeq}),
 //	)
 //	...
 //	err = svc.Start()
@@ -32,6 +35,7 @@ import (
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
 	"cts/internal/obs"
+	"cts/internal/order"
 	"cts/internal/replication"
 	"cts/internal/sim"
 	"cts/internal/timeserve"
@@ -64,10 +68,23 @@ type (
 	HardwareClock = hwclock.Clock
 	// GroupID identifies a process group.
 	GroupID = wire.GroupID
-	// NodeID identifies a processor on the ring.
+	// NodeID identifies a processor of the component.
 	NodeID = transport.NodeID
 	// Runtime is the event loop abstraction the stack runs on.
 	Runtime = sim.Runtime
+
+	// OrdererOptions selects and tunes the total-order protocol (see
+	// WithOrderer): the kind, the primary-component quorum and the
+	// per-orderer tuning structs.
+	OrdererOptions = order.Options
+	// OrdererKind names a total-order protocol implementation.
+	OrdererKind = order.Kind
+	// TotemTuning tunes the Totem single-ring orderer.
+	TotemTuning = order.TotemTuning
+	// SeqTuning tunes the leader-sequencer orderer.
+	SeqTuning = order.SeqTuning
+	// ViewID identifies one membership configuration of the ordering layer.
+	ViewID = order.ViewID
 
 	// Recorder is the observability handle: round traces, counters,
 	// histograms. A nil *Recorder is valid and fully disabled.
@@ -131,6 +148,21 @@ const (
 	CompExternal  = core.CompExternal
 )
 
+// Orderer kinds accepted by WithOrderer.
+const (
+	// OrdererTotem runs the Totem single ring (the paper's protocol).
+	OrdererTotem = order.KindTotem
+	// OrdererSeq runs the leader sequencer (lowest view member sequences;
+	// elections on leader timeout).
+	OrdererSeq = order.KindSeq
+	// OrdererInstant runs the sim-instant orderer (simulation only).
+	OrdererInstant = order.KindInstant
+)
+
+// ParseOrdererKind parses a user-supplied orderer name ("totem", "seq",
+// "instant"; empty selects totem), as used by the ctsnode -orderer flag.
+func ParseOrdererKind(s string) (OrdererKind, error) { return order.ParseKind(s) }
+
 // NewRecorder creates an observability recorder stamping events with the
 // given node identity. sink may be nil for metrics without tracing.
 func NewRecorder(node uint32, sink TraceSink) (*Recorder, error) {
@@ -175,6 +207,9 @@ type options struct {
 
 	timeserve *TimeServeConfig
 
+	order    order.Options
+	orderSet bool
+
 	obs *obs.Recorder
 }
 
@@ -194,9 +229,23 @@ func WithStack(s *gcs.Stack) Option { return func(o *options) { o.stack = s } }
 // and stopped by the Service.
 func WithTransport(tr transport.Transport) Option { return func(o *options) { o.transport = tr } }
 
-// WithRingMembers sets the initial ring membership for a facade-built stack.
-func WithRingMembers(ring []NodeID) Option {
-	return func(o *options) { o.ring = append([]NodeID(nil), ring...) }
+// WithMembers sets the initial component membership for a facade-built
+// stack.
+func WithMembers(members []NodeID) Option {
+	return func(o *options) { o.ring = append([]NodeID(nil), members...) }
+}
+
+// WithRingMembers sets the initial component membership for a facade-built
+// stack.
+//
+// Deprecated: the membership is no longer tied to a ring; use WithMembers.
+func WithRingMembers(ring []NodeID) Option { return WithMembers(ring) }
+
+// WithOrderer selects and tunes the total-order protocol underneath a
+// facade-built stack (see OrdererOptions). Conflicts with WithStack, whose
+// stack already owns an orderer.
+func WithOrderer(opts OrdererOptions) Option {
+	return func(o *options) { o.order = opts; o.orderSet = true }
 }
 
 // WithBootstrap selects whether a facade-built stack forms the initial ring
@@ -360,6 +409,9 @@ func New(opts ...Option) (*Service, error) {
 
 	s := &Service{obs: o.obs}
 	if o.stack != nil {
+		if o.orderSet {
+			return nil, errors.New("cts: WithOrderer conflicts with WithStack (the supplied stack already owns an orderer)")
+		}
 		s.stack = o.stack
 	} else {
 		if o.transport == nil {
@@ -370,11 +422,12 @@ func New(opts ...Option) (*Service, error) {
 		}
 		rec := o.obs.ForNode(uint32(o.transport.LocalID()))
 		st, err := gcs.New(gcs.Config{
-			Runtime:     o.runtime,
-			Transport:   o.transport,
-			RingMembers: o.ring,
-			Bootstrap:   o.bootstrap,
-			Obs:         rec,
+			Runtime:   o.runtime,
+			Transport: o.transport,
+			Members:   o.ring,
+			Bootstrap: o.bootstrap,
+			Order:     o.order,
+			Obs:       rec,
 		})
 		if err != nil {
 			return nil, err

@@ -56,10 +56,10 @@ func TestFacadeThreeReplicaGroup(t *testing.T) {
 
 	// The client rides on its own stack outside the facade.
 	cstack, err := gcs.New(gcs.Config{
-		Runtime:     k,
-		Transport:   net.Endpoint(0),
-		RingMembers: ring,
-		Bootstrap:   true,
+		Runtime:   k,
+		Transport: net.Endpoint(0),
+		Members:   ring,
+		Bootstrap: true,
 	})
 	if err != nil {
 		t.Fatalf("client gcs.New: %v", err)
@@ -174,5 +174,75 @@ func TestFacadeDefaultsAndValidation(t *testing.T) {
 		cts.WithCheckpointEvery(-1),
 	); err == nil {
 		t.Error("negative checkpoint interval accepted, want error")
+	}
+}
+
+// TestFacadeOrdererOptions pins the WithOrderer surface: kind selection,
+// cross-orderer tuning rejection, and the WithStack conflict.
+func TestFacadeOrdererOptions(t *testing.T) {
+	k := sim.NewKernel(3)
+	net := simnet.NewNetwork(k, nil)
+
+	// A facade-built stack on the leader sequencer works end to end.
+	svc, err := cts.New(
+		cts.WithRuntime(k),
+		cts.WithTransport(net.Endpoint(1)),
+		cts.WithMembers([]transport.NodeID{1}),
+		cts.WithOrderer(cts.OrdererOptions{Kind: cts.OrdererSeq}),
+	)
+	if err != nil {
+		t.Fatalf("New with seq orderer: %v", err)
+	}
+	svc.Stop()
+
+	// Unknown kinds and tuning for a non-selected orderer are construction
+	// errors, not silent fallbacks.
+	if _, err := cts.New(
+		cts.WithRuntime(k),
+		cts.WithTransport(net.Endpoint(2)),
+		cts.WithMembers([]transport.NodeID{2}),
+		cts.WithOrderer(cts.OrdererOptions{Kind: "ring"}),
+	); err == nil || !strings.Contains(err.Error(), "unknown orderer") {
+		t.Errorf("unknown orderer kind: err = %v, want unknown-orderer error", err)
+	}
+	if _, err := cts.New(
+		cts.WithRuntime(k),
+		cts.WithTransport(net.Endpoint(3)),
+		cts.WithMembers([]transport.NodeID{3}),
+		cts.WithOrderer(cts.OrdererOptions{
+			Kind: cts.OrdererTotem,
+			Seq:  cts.SeqTuning{LeaderTimeout: time.Second},
+		}),
+	); err == nil || !strings.Contains(err.Error(), "Seq tuning") {
+		t.Errorf("cross-orderer tuning: err = %v, want Seq-tuning error", err)
+	}
+
+	// WithOrderer cannot retune a caller-owned stack.
+	stack, err := gcs.New(gcs.Config{
+		Runtime:   k,
+		Transport: net.Endpoint(4),
+		Members:   []transport.NodeID{4},
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatalf("gcs.New: %v", err)
+	}
+	if _, err := cts.New(
+		cts.WithRuntime(k),
+		cts.WithStack(stack),
+		cts.WithOrderer(cts.OrdererOptions{Kind: cts.OrdererSeq}),
+	); err == nil || !strings.Contains(err.Error(), "WithStack") {
+		t.Errorf("WithOrderer+WithStack: err = %v, want conflict error", err)
+	}
+
+	// ParseOrdererKind mirrors the flag surface of ctsnode/ctsclient.
+	if kind, err := cts.ParseOrdererKind("seq"); err != nil || kind != cts.OrdererSeq {
+		t.Errorf(`ParseOrdererKind("seq") = %v, %v`, kind, err)
+	}
+	if kind, err := cts.ParseOrdererKind(""); err != nil || kind != cts.OrdererTotem {
+		t.Errorf(`ParseOrdererKind("") = %v, %v; want totem default`, kind, err)
+	}
+	if _, err := cts.ParseOrdererKind("lockstep"); err == nil {
+		t.Error(`ParseOrdererKind("lockstep") succeeded, want error`)
 	}
 }

@@ -51,7 +51,7 @@ func main() {
 	stacks := make(map[transport.NodeID]*gcs.Stack)
 	for _, id := range ring {
 		s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(id),
-			RingMembers: ring, Bootstrap: true})
+			Members: ring, Bootstrap: true})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -63,7 +63,7 @@ func newCausalHarness(t *testing.T, seed int64) *causalHarness {
 	ring := []transport.NodeID{0, 1, 2, 3, 4}
 	for _, id := range ring {
 		s, err := gcs.New(gcs.Config{Runtime: k, Transport: h.net.Endpoint(id),
-			RingMembers: ring, Bootstrap: true})
+			Members: ring, Bootstrap: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -217,6 +217,13 @@ type TimeService struct {
 	special         ccsHandler // handler for the special (state transfer) rounds
 	pendingCaptures []pendingCapture
 
+	// Join-staleness accounting for a recovering replica (recovery.go):
+	// the first restored checkpoint seeds the lease lag estimate with the
+	// elapsed recovery time, an upper bound on how stale the adopted group
+	// value is.
+	recoveryStart time.Duration
+	joinLagDue    bool
+
 	// Batched proposals with round coalescing (batch.go).
 	pendingBatch []wire.CCSBatchEntry
 	flushQueued  bool
@@ -257,6 +264,10 @@ func New(cfg Config) (*TimeService, error) {
 		pendingRnd: make(map[uint64]uint64),
 		inflight:   make(map[threadRound]*inflightProposal),
 		special:    ccsHandler{threadID: specialThreadID, buffer: make(map[uint64]roundMsg)},
+	}
+	if cfg.Manager.Recovering() {
+		s.recoveryStart = cfg.Clock.Read()
+		s.joinLagDue = true
 	}
 	cfg.Obs.Register(s)
 	cfg.Manager.Runtime().Post(func() {

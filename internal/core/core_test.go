@@ -132,10 +132,10 @@ func (h *coreHarness) counter(id transport.NodeID, name string) uint64 {
 func (h *coreHarness) addStack(id transport.NodeID, ring []transport.NodeID, bootstrap bool) {
 	h.t.Helper()
 	s, err := gcs.New(gcs.Config{
-		Runtime:     h.k,
-		Transport:   h.net.Endpoint(id),
-		RingMembers: ring,
-		Bootstrap:   bootstrap,
+		Runtime:   h.k,
+		Transport: h.net.Endpoint(id),
+		Members:   ring,
+		Bootstrap: bootstrap,
 	})
 	if err != nil {
 		h.t.Fatal(err)
@@ -617,7 +617,7 @@ func TestConfigValidation(t *testing.T) {
 	k := sim.NewKernel(1)
 	net := simnet.NewNetwork(k, nil)
 	s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(0),
-		RingMembers: []transport.NodeID{0}, Bootstrap: true})
+		Members: []transport.NodeID{0}, Bootstrap: true})
 	if err != nil {
 		t.Fatal(err)
 	}

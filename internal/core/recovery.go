@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"cts/internal/obs"
 	"cts/internal/wire"
 )
 
@@ -82,10 +83,11 @@ func (s *TimeService) consumeSpecial() {
 // restoreFromCheckpoint is installed as the manager's checkpoint-restore
 // hook. It aligns the round counters with the checkpoint (so a recovering
 // replica's replayed clock operations match the CCS messages it buffers)
-// and prunes buffers the counters have passed. Offsets are deliberately not
-// restored: the offset relates the group clock to the local physical clock
-// and is re-derived from delivered CCS messages (the special round at the
-// latest).
+// and prunes buffers the counters have passed. The donor's offset is
+// deliberately not restored: the offset relates the group clock to the
+// local physical clock, so the recovering replica re-derives its own from
+// the special round's group value anchored at its own clock (end of this
+// function), and from every delivered CCS message thereafter.
 func (s *TimeService) restoreFromCheckpoint(extra []byte) {
 	st, err := decodeState(extra)
 	if err != nil {
@@ -130,6 +132,27 @@ func (s *TimeService) restoreFromCheckpoint(extra []byte) {
 		rest = append(rest, e)
 	}
 	s.common = rest
+	// §3.2 adoption: the checkpoint carries the group clock decided by the
+	// special round immediately preceding it, and the counters restored
+	// above mark that round as covered — its CCS message will be dropped
+	// as a duplicate if it arrives after this restore. Adopt the value
+	// here, deriving the offset from our own physical clock now, unless a
+	// newer round already reached us through the ordinary delivery path.
+	if st.groupClock > s.lastGroup {
+		s.lastGroup = st.groupClock
+		grp := s.adoptGroupValue(roundMsg{proposed: st.groupClock, op: wire.OpGettimeofday}, s.clock.Read())
+		s.obs.Trace(obs.ScopeCore, obs.EvAdopted, specialThreadID, st.specialRound, int64(grp), "restore")
+	}
+	// A joiner's adopted group value was decided some time after its
+	// recovery began, so the elapsed recovery time upper-bounds how stale
+	// the adoption anchor is. Seed the lease lag estimate with it: the
+	// joiner's early proposals can run behind the group by up to this much,
+	// and its serving bound must say so until measured ordering lags decay
+	// the estimate to the steady-state value.
+	if s.joinLagDue {
+		s.joinLagDue = false
+		s.noteOrderingLag(s.clock.Read() - s.recoveryStart)
+	}
 }
 
 // ccsState is the time service's contribution to a checkpoint.

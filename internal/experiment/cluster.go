@@ -17,6 +17,7 @@ import (
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
 	"cts/internal/obs"
+	"cts/internal/order"
 	"cts/internal/replication"
 	"cts/internal/rpc"
 	"cts/internal/sim"
@@ -81,7 +82,17 @@ type ClusterConfig struct {
 	Observe bool
 	// TraceSink, when set, receives the round trace events (implies Observe).
 	TraceSink obs.TraceSink
+	// Orderer selects the total-order protocol under every stack. Empty
+	// takes DefaultOrderer (totem unless the package test flag -orderer
+	// overrides it).
+	Orderer order.Kind
 }
+
+// DefaultOrderer is the ordering protocol clusters run when
+// ClusterConfig.Orderer is empty. The experiment package's -orderer test
+// flag overrides it, so the whole experiment suite can be exercised against
+// a different orderer (`go test ./internal/experiment -orderer=seq`).
+var DefaultOrderer = order.KindTotem
 
 // Cluster is a running simulated deployment: client on node 0, replicas on
 // nodes 1..n.
@@ -118,6 +129,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.Style == 0 {
 		cfg.Style = replication.Active
+	}
+	if cfg.Orderer == "" {
+		cfg.Orderer = DefaultOrderer
 	}
 	k := sim.NewKernel(cfg.Seed)
 	c := &Cluster{
@@ -176,11 +190,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 func (c *Cluster) addStack(id transport.NodeID, bootstrap bool) error {
 	s, err := gcs.New(gcs.Config{
-		Runtime:     c.K,
-		Transport:   c.Net.Endpoint(id),
-		RingMembers: c.nodes,
-		Bootstrap:   bootstrap,
-		Obs:         c.Obs.ForNode(uint32(id)),
+		Runtime:   c.K,
+		Transport: c.Net.Endpoint(id),
+		Members:   c.nodes,
+		Bootstrap: bootstrap,
+		Order:     order.Options{Kind: c.cfg.Orderer},
+		Obs:       c.Obs.ForNode(uint32(id)),
 	})
 	if err != nil {
 		return err
@@ -265,11 +280,12 @@ func (c *Cluster) AddRecoveringReplica(spec ClockSpec) (transport.NodeID, error)
 	id := transport.NodeID(len(c.nodes))
 	c.nodes = append(c.nodes, id)
 	s, err := gcs.New(gcs.Config{
-		Runtime:     c.K,
-		Transport:   c.Net.Endpoint(id),
-		RingMembers: c.nodes,
-		Bootstrap:   false,
-		Obs:         c.Obs.ForNode(uint32(id)),
+		Runtime:   c.K,
+		Transport: c.Net.Endpoint(id),
+		Members:   c.nodes,
+		Bootstrap: false,
+		Order:     order.Options{Kind: c.cfg.Orderer},
+		Obs:       c.Obs.ForNode(uint32(id)),
 	})
 	if err != nil {
 		return 0, err

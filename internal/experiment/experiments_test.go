@@ -40,6 +40,7 @@ func TestFigure5ShapeOverheadPositive(t *testing.T) {
 }
 
 func TestMessageCountsSuppression(t *testing.T) {
+	totemOnly(t)
 	const ops = 400
 	r, err := RunMessageCounts(2, ops)
 	if err != nil {
@@ -77,6 +78,11 @@ func TestMessageCountsSuppression(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
+	// Synchronizer rotation is a token-ring property: the replica closest
+	// behind the token wins the round. Under the leader-sequencer the
+	// sender co-located with the leader wins every round, so there is no
+	// rotation to assert.
+	totemOnly(t)
 	r, err := RunFigure6(3, 400, 20)
 	if err != nil {
 		t.Fatal(err)
@@ -197,6 +203,11 @@ func TestRecoveryIntegration(t *testing.T) {
 }
 
 func TestDriftCompensationOrdering(t *testing.T) {
+	// MeanDelay=40µs is the paper's measured Totem CCS ordering delay.
+	// The leader-sequencer loses ~1µs per round (the winner anchors at its
+	// send time and keeps winning), so the testbed constant overshoots by
+	// design; compensation calibration is protocol-specific (§3.3).
+	totemOnly(t)
 	r, err := RunDrift(8, 400)
 	if err != nil {
 		t.Fatal(err)
@@ -226,6 +237,7 @@ func absDur(d time.Duration) time.Duration {
 }
 
 func TestTokenTimingPeakNearPaper(t *testing.T) {
+	totemOnly(t)
 	r, err := RunTokenTiming(9, 1500)
 	if err != nil {
 		t.Fatal(err)
@@ -244,6 +256,7 @@ func TestTokenTimingPeakNearPaper(t *testing.T) {
 }
 
 func TestScalingMonotoneCost(t *testing.T) {
+	totemOnly(t)
 	r, err := RunScaling(10, []int{2, 4, 8}, 60)
 	if err != nil {
 		t.Fatal(err)

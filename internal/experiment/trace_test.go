@@ -12,6 +12,7 @@ import (
 // read_start → proposal_queued → ccs_sent → first_ordered → adopted →
 // read_done — for the invocation thread's early rounds.
 func TestFigure5RoundTrace(t *testing.T) {
+	totemOnly(t)
 	const invocations = 5
 	sink := obs.NewMemorySink(0)
 	res, err := RunFigure5Traced(1, invocations, sink)

@@ -1,10 +1,12 @@
-// Package gcs is the group-communication layer between the Totem single-ring
-// protocol and the replication infrastructure. It multiplexes named process
-// groups over the ring's single total order: every fault-tolerant protocol
-// message (wire.Message) is delivered to the local members of its destination
-// group in the same order at every processor, and per-group membership views
-// track both which processors host group members and whether the component is
-// primary (§2 of the paper).
+// Package gcs is the group-communication layer between the total-order
+// multicast substrate (internal/order: Totem single ring, leader sequencer
+// or sim-instant) and the replication infrastructure. It multiplexes named
+// process groups over the orderer's single total order: every fault-tolerant
+// protocol message (wire.Message) is delivered to the local members of its
+// destination group in the same order at every processor, and per-group
+// membership views track both which processors host group members and
+// whether the component is primary (§2 of the paper). The package depends
+// only on the order.Orderer contract, never on a concrete protocol.
 package gcs
 
 import (
@@ -14,8 +16,8 @@ import (
 	"sort"
 
 	"cts/internal/obs"
+	"cts/internal/order"
 	"cts/internal/sim"
-	"cts/internal/totem"
 	"cts/internal/transport"
 	"cts/internal/wire"
 )
@@ -23,18 +25,18 @@ import (
 // Meta describes the total-order position of a delivered message.
 type Meta struct {
 	TotalOrder uint64
-	Ring       totem.RingID
+	ViewID     order.ViewID
 	Seq        uint64
 	Sender     transport.NodeID
 }
 
-// GroupView is the membership of one group, derived from the ring view and
-// the group-announcement traffic, identical in content and order at every
-// processor of the component.
+// GroupView is the membership of one group, derived from the orderer's
+// membership view and the group-announcement traffic, identical in content
+// and order at every processor of the component.
 type GroupView struct {
 	Group   wire.GroupID
 	Members []transport.NodeID // processors hosting members of the group
-	Ring    totem.RingID
+	ViewID  order.ViewID
 	Primary bool
 }
 
@@ -47,28 +49,38 @@ type ViewHandler func(GroupView)
 
 // Config configures a Stack.
 type Config struct {
-	// Runtime and Transport as for totem.Config. Required.
-	Runtime   sim.Runtime
+	// Runtime is the event loop the stack (and its orderer) runs on.
+	// Required.
+	Runtime sim.Runtime
+	// Transport carries the processor's datagrams. Required.
 	Transport transport.Transport
-	// RingMembers is the initial ring membership (all processors, whether or
-	// not they host members of any particular group).
-	RingMembers []transport.NodeID
-	// Bootstrap as for totem.Config.
+	// Members is the initial component membership (all processors, whether
+	// or not they host members of any particular group).
+	Members []transport.NodeID
+	// Bootstrap, when true, forms the initial configuration from Members
+	// directly; when false the processor joins the component its peers have
+	// formed.
 	Bootstrap bool
-	// Totem carries optional protocol tuning; its Runtime, Transport,
-	// Members, Bootstrap, Deliver and OnView fields are ignored.
-	Totem totem.Config
-	// Obs registers this stack's counters and is handed down to the totem
-	// layer for token-level tracing. A nil recorder disables instrumentation
-	// at no cost. Optional.
+	// Order selects and tunes the total-order protocol underneath the
+	// stack. The zero value runs Totem with default tuning; tuning supplied
+	// for a non-selected orderer is a validation error, never a silent
+	// no-op.
+	Order order.Options
+	// Obs registers this stack's counters and is handed down to the
+	// ordering layer for protocol-level tracing. A nil recorder disables
+	// instrumentation at no cost. Optional.
 	Obs *obs.Recorder
 }
 
-// Validate checks cfg, returning the effective configuration. Layer defaults
-// (totem timeouts) are filled by the totem constructor.
+// Validate checks cfg, returning the effective configuration. Ordering-layer
+// defaults (protocol timeouts) are filled by the orderer constructor.
 func (c Config) Validate() (Config, error) {
 	if c.Runtime == nil || c.Transport == nil {
 		return c, errors.New("gcs: Runtime and Transport are required")
+	}
+	var err error
+	if c.Order, err = c.Order.Validate(); err != nil {
+		return c, fmt.Errorf("gcs: %w", err)
 	}
 	return c, nil
 }
@@ -81,7 +93,7 @@ type Stats struct {
 	ViewsEmitted      uint64 // group view changes emitted
 }
 
-// envelope tags multiplexed over totem.
+// envelope tags multiplexed over the total order.
 const (
 	envApp      = 1 // wire.Message
 	envAnnounce = 2 // processor announces its locally joined groups
@@ -89,15 +101,15 @@ const (
 
 // Stack is one processor's group-communication endpoint.
 type Stack struct {
-	rt   sim.Runtime
-	node *totem.Node
-	me   transport.NodeID
+	rt  sim.Runtime
+	ord order.Orderer
+	me  transport.NodeID
 
 	groups map[wire.GroupID]*Group // locally joined groups
 
 	// membership[g][p] records that processor p hosts a member of group g.
 	membership map[wire.GroupID]map[transport.NodeID]bool
-	ringView   totem.View
+	ordView    order.View
 	lastViews  map[wire.GroupID]GroupView
 
 	// viewWatchers receive every group view change, joined or not (used by
@@ -124,33 +136,31 @@ func New(cfg Config) (*Stack, error) {
 		lastViews:  make(map[wire.GroupID]GroupView),
 		obs:        cfg.Obs,
 	}
-	tc := cfg.Totem
-	tc.Runtime = cfg.Runtime
-	tc.Transport = cfg.Transport
-	tc.Members = cfg.RingMembers
-	tc.Bootstrap = cfg.Bootstrap
-	tc.Deliver = s.onDeliver
-	tc.OnView = s.onRingView
-	if tc.Obs == nil {
-		tc.Obs = cfg.Obs
-	}
-	node, err := totem.New(tc)
+	ord, err := order.New(order.Env{
+		Runtime:   cfg.Runtime,
+		Transport: cfg.Transport,
+		Members:   cfg.Members,
+		Bootstrap: cfg.Bootstrap,
+		Deliver:   s.onDeliver,
+		OnView:    s.onOrderView,
+		Obs:       cfg.Obs,
+	}, cfg.Order)
 	if err != nil {
 		return nil, fmt.Errorf("gcs: %w", err)
 	}
-	s.node = node
+	s.ord = ord
 	cfg.Obs.Register(s)
 	return s, nil
 }
 
 // Start begins protocol activity.
-func (s *Stack) Start() { s.node.Start() }
+func (s *Stack) Start() { s.ord.Start() }
 
 // Stop halts the stack.
-func (s *Stack) Stop() { s.node.Stop() }
+func (s *Stack) Stop() { s.ord.Stop() }
 
-// Node exposes the underlying totem node (for statistics).
-func (s *Stack) Node() *totem.Node { return s.node }
+// Orderer exposes the underlying total-order endpoint.
+func (s *Stack) Orderer() order.Orderer { return s.ord }
 
 // LocalID reports the processor identity of this stack.
 func (s *Stack) LocalID() transport.NodeID { return s.me }
@@ -226,7 +236,7 @@ func (s *Stack) Multicast(m wire.Message) error {
 	env[0] = envApp
 	copy(env[1:], b)
 	s.rt.Post(func() { s.stats.Multicasts++ }) // counter is loop-confined
-	return s.node.Broadcast(env)
+	return s.ord.Broadcast(env)
 }
 
 // MulticastCancelable queues m like Multicast but returns a cancel function
@@ -235,9 +245,9 @@ func (s *Stack) Multicast(m wire.Message) error {
 // Messages with identical headers (the paper's message identifier: source
 // group, destination group, connection, sequence number) share a logical
 // identity, and a queued message whose identity has already been received
-// from another replica is withdrawn automatically at the token visit.
-// When safe is true, delivery waits until every processor on the ring holds
-// the message. Must be called (and cancelled) on the runtime loop.
+// from another replica is withdrawn automatically before it is sent.
+// When safe is true, delivery waits until every processor of the component
+// holds the message. Must be called (and cancelled) on the runtime loop.
 func (s *Stack) MulticastCancelable(m wire.Message, safe bool) (func() bool, error) {
 	b, err := wire.Marshal(m)
 	if err != nil {
@@ -247,7 +257,7 @@ func (s *Stack) MulticastCancelable(m wire.Message, safe bool) (func() bool, err
 	env[0] = envApp
 	copy(env[1:], b)
 	s.stats.Multicasts++
-	return s.node.BroadcastCancelable(env, safe, messageIdentity(m.Header)), nil
+	return s.ord.BroadcastCancelable(env, safe, messageIdentity(m.Header)), nil
 }
 
 // messageIdentity hashes the paper's message identifier fields (§3.1).
@@ -313,7 +323,7 @@ func (s *Stack) announceLocal() {
 	for i, id := range gids {
 		putGroupID(env[1+4*i:], id)
 	}
-	_ = s.node.Broadcast(env)
+	_ = s.ord.Broadcast(env)
 }
 
 func putGroupID(b []byte, id wire.GroupID) {
@@ -328,18 +338,19 @@ func getGroupID(b []byte) wire.GroupID {
 		wire.GroupID(b[2])<<8 | wire.GroupID(b[3])
 }
 
-// onRingView reacts to a totem membership change: group tables are pruned to
-// the new ring, local memberships are re-announced (newly merged processors
-// have no record of them), and updated group views are emitted.
-func (s *Stack) onRingView(v totem.View) {
-	s.ringView = v
-	inRing := make(map[transport.NodeID]bool, len(v.Members))
+// onOrderView reacts to an ordering-layer membership change: group tables
+// are pruned to the new component, local memberships are re-announced (newly
+// merged processors have no record of them), and updated group views are
+// emitted.
+func (s *Stack) onOrderView(v order.View) {
+	s.ordView = v
+	in := make(map[transport.NodeID]bool, len(v.Members))
 	for _, id := range v.Members {
-		inRing[id] = true
+		in[id] = true
 	}
 	for _, procs := range s.membership {
 		for p := range procs {
-			if !inRing[p] {
+			if !in[p] {
 				delete(procs, p)
 			}
 		}
@@ -361,8 +372,8 @@ func (s *Stack) noteMember(g wire.GroupID, p transport.NodeID) {
 	procs[p] = true
 }
 
-// onDeliver handles one totally-ordered totem delivery.
-func (s *Stack) onDeliver(d totem.Delivery) {
+// onDeliver handles one totally-ordered delivery.
+func (s *Stack) onDeliver(d order.Delivery) {
 	if len(d.Payload) == 0 {
 		return
 	}
@@ -374,7 +385,7 @@ func (s *Stack) onDeliver(d totem.Delivery) {
 			return
 		}
 		s.stats.AppDelivered++
-		meta := Meta{TotalOrder: d.TotalOrder, Ring: d.Ring,
+		meta := Meta{TotalOrder: d.TotalOrder, ViewID: d.ViewID,
 			Seq: d.Seq, Sender: d.Sender}
 		for _, w := range s.msgWatchers {
 			w(m, meta)
@@ -417,7 +428,7 @@ func (s *Stack) emitChangedViews() {
 	for _, gid := range gids {
 		members := s.groupMembers(gid)
 		view := GroupView{Group: gid, Members: members,
-			Ring: s.ringView.Ring, Primary: s.ringView.Primary}
+			ViewID: s.ordView.ID, Primary: s.ordView.Primary}
 		last, seen := s.lastViews[gid]
 		if seen && viewsEqual(last, view) {
 			continue
@@ -444,7 +455,7 @@ func (s *Stack) groupMembers(gid wire.GroupID) []transport.NodeID {
 }
 
 func viewsEqual(a, b GroupView) bool {
-	if a.Group != b.Group || a.Ring != b.Ring || a.Primary != b.Primary ||
+	if a.Group != b.Group || a.ViewID != b.ViewID || a.Primary != b.Primary ||
 		len(a.Members) != len(b.Members) {
 		return false
 	}

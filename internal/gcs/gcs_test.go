@@ -42,10 +42,10 @@ func newGCSHarness(t *testing.T, seed int64) *gcsHarness {
 func (h *gcsHarness) addStack(id transport.NodeID, ring []transport.NodeID, bootstrap bool) *Stack {
 	h.t.Helper()
 	s, err := New(Config{
-		Runtime:     h.k,
-		Transport:   h.net.Endpoint(id),
-		RingMembers: ring,
-		Bootstrap:   bootstrap,
+		Runtime:   h.k,
+		Transport: h.net.Endpoint(id),
+		Members:   ring,
+		Bootstrap: bootstrap,
 	})
 	if err != nil {
 		h.t.Fatal(err)
@@ -365,7 +365,7 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("missing runtime accepted")
 	}
 	s, err := New(Config{Runtime: k, Transport: net.Endpoint(0),
-		RingMembers: []transport.NodeID{0}, Bootstrap: true})
+		Members: []transport.NodeID{0}, Bootstrap: true})
 	if err != nil {
 		t.Fatal(err)
 	}

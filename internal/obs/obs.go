@@ -2,8 +2,9 @@
 // trace events that follow one CCS round across every protocol layer
 // (read_start → proposal_queued → ccs_sent → first_ordered → adopted →
 // read_done, with token-circulation and safe-delivery-wait sub-spans from
-// totem), plus a metrics registry that gathers every layer's counters under
-// one canonical naming scheme (core.*, totem.*, gcs.*, repl.*, rpc.*).
+// the ordering layer), plus a metrics registry that gathers every layer's
+// counters under one canonical naming scheme (core.*, gcs.*, repl.*, rpc.*,
+// and per-orderer totem.*, seq.*, instant.*).
 //
 // The central handle is the Recorder. A nil *Recorder is a valid, fully
 // disabled recorder: every method is a no-op behind a single nil check, so
@@ -25,13 +26,17 @@ import (
 )
 
 // Scope names stamped into trace events and metric samples, one per
-// instrumented layer.
+// instrumented layer. Each orderer implementation gets its own scope
+// (ScopeTotem, ScopeSeq, ScopeInstant), so traces and metric names identify
+// which ordering protocol produced them.
 const (
-	ScopeCore  = "core"
-	ScopeTotem = "totem"
-	ScopeGCS   = "gcs"
-	ScopeRepl  = "repl"
-	ScopeRPC   = "rpc"
+	ScopeCore    = "core"
+	ScopeTotem   = "totem"
+	ScopeSeq     = "seq"
+	ScopeInstant = "instant"
+	ScopeGCS     = "gcs"
+	ScopeRepl    = "repl"
+	ScopeRPC     = "rpc"
 )
 
 // Round lifecycle events emitted by the consistent time service (ScopeCore).
@@ -73,8 +78,9 @@ const (
 	EvBatchSent = "ccs_batch_sent"
 )
 
-// Sub-span events emitted by the totem layer (ScopeTotem). Round carries the
-// token sequence number (EvTokenRecv) or the message sequence number (safe
+// Sub-span events emitted by the ordering layer (ScopeTotem for the ring,
+// ScopeSeq for the leader sequencer). Round carries the token sequence
+// number (EvTokenRecv, totem only) or the message sequence number (safe
 // wait pair); the time between EvSafeWait and EvSafeDelivered for one
 // sequence number is the safe-delivery wait the paper attributes its ≈300µs
 // overhead to.

@@ -1,0 +1,248 @@
+package order
+
+import (
+	"sort"
+
+	"cts/internal/obs"
+	"cts/internal/sim"
+	"cts/internal/transport"
+)
+
+// InstantHub is the shared ordering point of the sim-instant orderer: an
+// in-process total-order oracle for large simulation campaigns. Every node
+// of the simulated component registers against one hub (and therefore one
+// runtime); a broadcast is sequenced and delivered to every active node in
+// a single simulated step, with zero protocol traffic. This trades fault
+// realism for scale — crash and recovery are modelled (Stop/Start change
+// the membership and advance the view epoch), but partitions and message
+// loss are not, since there is no network underneath.
+//
+// All hub state is confined to the shared runtime loop.
+type InstantHub struct {
+	rt          sim.Runtime
+	quorum      int
+	epoch       uint64
+	seq         uint64
+	nodes       map[transport.NodeID]*instantNode // registered (Start/Stop toggle active)
+	pending     []*instantPending
+	flushQueued bool
+	seen        map[uint64]bool
+}
+
+// NewInstantHub creates an empty hub. Nodes attach via New with
+// Options{Kind: KindInstant, Instant: InstantTuning{Hub: hub}}.
+func NewInstantHub() *InstantHub {
+	return &InstantHub{
+		nodes: make(map[transport.NodeID]*instantNode),
+		seen:  make(map[uint64]bool),
+	}
+}
+
+// instantPending is one queued broadcast awaiting the hub's flush step.
+type instantPending struct {
+	sender    transport.NodeID
+	payload   []byte
+	safe      bool
+	dupKey    uint64
+	sent      bool
+	cancelled bool
+}
+
+// instantNode is one processor's endpoint of the hub.
+type instantNode struct {
+	hub        *InstantHub
+	env        Env
+	me         transport.NodeID
+	active     bool
+	totalOrder uint64
+	stats      struct {
+		Broadcasts uint64
+		Delivered  uint64
+		Suppressed uint64
+	}
+}
+
+func newInstantOrderer(env Env, opts Options) (Orderer, error) {
+	hub := opts.Instant.Hub
+	me := env.Transport.LocalID()
+	n := &instantNode{hub: hub, env: env, me: me}
+	if hub.rt == nil {
+		hub.rt = env.Runtime
+		hub.quorum = quorumOrDefault(opts.Quorum, len(env.Members))
+	}
+	hub.nodes[me] = n
+	env.Obs.Register(n)
+	return n, nil
+}
+
+// Start activates the node: the hub advances its view epoch and emits the
+// new membership to every active node.
+func (n *instantNode) Start() {
+	n.hub.rt.Post(func() {
+		if n.active {
+			return
+		}
+		n.active = true
+		n.hub.emitViews()
+	})
+}
+
+// Stop deactivates the node; no further callbacks run after the posted stop
+// takes effect.
+func (n *instantNode) Stop() {
+	n.hub.rt.Post(func() {
+		if !n.active {
+			return
+		}
+		n.active = false
+		n.hub.emitViews()
+	})
+}
+
+// LocalID implements Orderer.
+func (n *instantNode) LocalID() transport.NodeID { return n.me }
+
+// Broadcast implements Orderer. The message is ordered and delivered to
+// every active node in one simulated step.
+func (n *instantNode) Broadcast(payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	n.hub.rt.Post(func() {
+		n.hub.enqueue(&instantPending{sender: n.me, payload: cp})
+		n.hub.flush()
+	})
+	return nil
+}
+
+// BroadcastCancelable implements Orderer. Loop-only; the hub's flush runs as
+// a separate posted step, so a cancel within the same instant withdraws the
+// message before ordering, mirroring the wire orderers' suppression window.
+func (n *instantNode) BroadcastCancelable(payload []byte, safe bool, dupKey uint64) func() bool {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	p := &instantPending{sender: n.me, payload: cp, safe: safe, dupKey: dupKey}
+	n.hub.enqueue(p)
+	hub := n.hub
+	if !hub.flushQueued {
+		hub.flushQueued = true
+		hub.rt.Post(func() {
+			hub.flushQueued = false
+			hub.flush()
+		})
+	}
+	return func() bool {
+		if p.sent {
+			return false
+		}
+		p.cancelled = true
+		return true
+	}
+}
+
+func (h *InstantHub) enqueue(p *instantPending) {
+	h.pending = append(h.pending, p)
+	if n := h.nodes[p.sender]; n != nil {
+		n.stats.Broadcasts++
+	}
+}
+
+// flush orders every queued broadcast. Loop-only.
+func (h *InstantHub) flush() {
+	pend := h.pending
+	h.pending = nil
+	for _, p := range pend {
+		if p.cancelled {
+			continue
+		}
+		sender := h.nodes[p.sender]
+		if sender == nil || !sender.active {
+			continue // sender stopped between queue and flush
+		}
+		if p.dupKey != 0 && h.seen[p.dupKey] {
+			p.cancelled = true
+			sender.stats.Suppressed++
+			continue
+		}
+		p.sent = true
+		if p.dupKey != 0 {
+			h.seen[p.dupKey] = true
+		}
+		h.seq++
+		h.deliverAll(p)
+	}
+}
+
+// deliverAll hands one ordered message to every active node, in id order.
+func (h *InstantHub) deliverAll(p *instantPending) {
+	view := h.viewID()
+	for _, id := range h.activeIDs() {
+		n := h.nodes[id]
+		n.totalOrder++
+		n.stats.Delivered++
+		n.env.Deliver(Delivery{
+			TotalOrder: n.totalOrder,
+			ViewID:     view,
+			Seq:        h.seq,
+			Sender:     p.sender,
+			Payload:    p.payload,
+		})
+	}
+}
+
+// emitViews advances the epoch and delivers the new view to every active
+// node. Any queued-but-unflushed broadcasts are flushed first, under the
+// old view, preserving view synchrony.
+func (h *InstantHub) emitViews() {
+	h.flush()
+	h.epoch++
+	members := h.activeIDs()
+	if len(members) == 0 {
+		return
+	}
+	view := View{
+		ID:      h.viewID(),
+		Members: members,
+		Primary: len(members) >= h.quorum,
+	}
+	for _, id := range members {
+		n := h.nodes[id]
+		if n.env.OnView != nil {
+			v := view
+			v.Members = append([]transport.NodeID(nil), members...)
+			n.env.OnView(v)
+		}
+	}
+}
+
+func (h *InstantHub) activeIDs() []transport.NodeID {
+	ids := make([]transport.NodeID, 0, len(h.nodes))
+	for id, n := range h.nodes {
+		if n.active {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (h *InstantHub) viewID() ViewID {
+	rep := transport.NodeID(0)
+	if ids := h.activeIDs(); len(ids) > 0 {
+		rep = ids[0]
+	}
+	return ViewID{Epoch: h.epoch, Rep: rep}
+}
+
+// ObsNode implements obs.Source.
+func (n *instantNode) ObsNode() uint32 { return uint32(n.me) }
+
+// ObsSamples implements obs.Source under the canonical instant.* names.
+// Loop-only.
+func (n *instantNode) ObsSamples() []obs.Sample {
+	id := uint32(n.me)
+	return []obs.Sample{
+		{Node: id, Name: "instant.broadcasts", Value: n.stats.Broadcasts},
+		{Node: id, Name: "instant.delivered", Value: n.stats.Delivered},
+		{Node: id, Name: "instant.suppressed", Value: n.stats.Suppressed},
+	}
+}

@@ -1,0 +1,11 @@
+package order
+
+import (
+	"testing"
+
+	"cts/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves goroutines running; every
+// orderer started by a test must be stopped by that test.
+func TestMain(m *testing.M) { testutil.Main(m) }

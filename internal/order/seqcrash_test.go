@@ -1,0 +1,79 @@
+package order
+
+import (
+	"testing"
+	"time"
+)
+
+// Leader crashes while safe cancelable traffic is in flight; survivors must
+// keep delivering. Regression test for the dense-relabel wedge: after the
+// crash the new leader relabels the survivors' retained proposals with
+// dense per-sender numbers, and a dupKey-suppressed proposal cancelled
+// after relabelling used to leave a hole that wedged the sender's chain.
+func TestSeqLeaderCrashSafeInFlight(t *testing.T) {
+	h := newConfHarness(t, KindSeq, 23, nil)
+	ids := confIDs(4)[1:] // nodes 1,2,3 like the experiment cluster
+	for _, id := range ids {
+		h.addNode(id, ids, true)
+	}
+	h.startAll()
+
+	key := uint64(1)
+	deliveredKey := func(k uint64) bool {
+		for _, id := range ids[1:] {
+			found := false
+			for _, d := range h.deliveries[id] {
+				if len(d.Payload) > 0 && uint64(d.Payload[0]) == k%256 {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+
+	// A few rounds pre-crash: both non-leaders propose with the same dupKey.
+	for ; key <= 3; key++ {
+		k := key
+		h.k.Post(func() {
+			h.nodes[2].BroadcastCancelable([]byte{byte(k)}, true, k)
+			h.nodes[3].BroadcastCancelable([]byte{byte(k)}, true, k)
+		})
+		if !h.runUntil(time.Second, func() bool { return deliveredKey(k) }) {
+			t.Fatalf("round %d never delivered pre-crash", k)
+		}
+	}
+
+	// Put a round in flight and crash the leader in the same instant.
+	k := key
+	h.k.Post(func() {
+		h.nodes[2].BroadcastCancelable([]byte{byte(k)}, true, k)
+		h.nodes[3].BroadcastCancelable([]byte{byte(k)}, true, k)
+	})
+	h.crash(1)
+
+	if !h.runUntil(5*time.Second, func() bool { return deliveredKey(k) }) {
+		for _, id := range ids[1:] {
+			t.Logf("node %v: %d deliveries, views %+v", id, len(h.deliveries[id]), h.views[id])
+		}
+		t.Fatalf("in-flight round %d never delivered after leader crash", k)
+	}
+	key++
+
+	// Post-crash rounds.
+	for ; key <= k+3; key++ {
+		kk := key
+		h.k.Post(func() {
+			h.nodes[2].BroadcastCancelable([]byte{byte(kk)}, true, kk)
+			h.nodes[3].BroadcastCancelable([]byte{byte(kk)}, true, kk)
+		})
+		if !h.runUntil(5*time.Second, func() bool { return deliveredKey(kk) }) {
+			for _, id := range ids[1:] {
+				t.Logf("node %v: %d deliveries, last view %+v", id, len(h.deliveries[id]), h.views[id][len(h.views[id])-1])
+			}
+			t.Fatalf("round %d never delivered post-crash", kk)
+		}
+	}
+}

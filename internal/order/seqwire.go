@@ -1,0 +1,407 @@
+package order
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"cts/internal/transport"
+)
+
+// Wire format of the leader-sequencer: one tag byte followed by fixed-width
+// big-endian fields. The transport is unreliable, so every decoder
+// bounds-checks and returns an error on truncated or corrupt datagrams.
+const (
+	seqTagPropose  = 1
+	seqTagOrdered  = 2
+	seqTagHeart    = 3
+	seqTagAck      = 4
+	seqTagNack     = 5
+	seqTagElect    = 6
+	seqTagElectAck = 7
+	seqTagInstall  = 8
+)
+
+// seqPropose is a proposal unicast to the current leader. Local is a
+// per-sender sequence number, dense within the view, that gives
+// gap-freedom: the leader orders one sender's proposals in Local order,
+// buffering any that arrive early.
+type seqPropose struct {
+	View    ViewID // proposer's view; the leader rejects mismatches
+	Sender  transport.NodeID
+	Local   uint64
+	Safe    bool
+	DupKey  uint64
+	Payload []byte
+}
+
+// seqEntry is one ordered message, broadcast by the leader and merged
+// through elections. Seq is globally monotone across views.
+type seqEntry struct {
+	View    ViewID
+	Seq     uint64
+	Sender  transport.NodeID
+	Local   uint64
+	Safe    bool
+	DupKey  uint64
+	Payload []byte
+}
+
+// seqHeartbeat is the leader's periodic beacon. It drives follower liveness
+// detection, carries the safe point (every member holds seq ≤ SafePoint),
+// and — because it is broadcast — doubles as the discovery beacon that lets
+// stragglers and healed partitions find the component.
+type seqHeartbeat struct {
+	View      ViewID
+	HighSeq   uint64
+	SafePoint uint64
+}
+
+// seqAck is a follower's reply to a heartbeat: its all-received-up-to.
+type seqAck struct {
+	View ViewID
+	From transport.NodeID
+	Aru  uint64
+}
+
+// seqNack requests retransmission of missing sequence numbers.
+type seqNack struct {
+	View    ViewID
+	From    transport.NodeID
+	Missing []uint64
+}
+
+// seqElect announces an election: Cand proposes to form epoch Epoch.
+// Between concurrent elections the higher epoch wins; on equal epochs the
+// lower candidate id wins, so races converge.
+type seqElect struct {
+	Epoch uint64
+	Cand  transport.NodeID
+}
+
+// seqElectAck is one member's contribution to an election: its latest view,
+// its delivered prefix, and every retained entry, enough for the candidate
+// to compute the merged message history.
+type seqElectAck struct {
+	Epoch     uint64
+	From      transport.NodeID
+	View      ViewID
+	Delivered uint64
+	Entries   []seqEntry
+}
+
+// seqInstall commits the election: the new view, its members, the merged
+// entry suffix and the sequence high-water mark the next view continues
+// from.
+type seqInstall struct {
+	Epoch   uint64
+	View    ViewID
+	Members []transport.NodeID
+	HighSeq uint64
+	Entries []seqEntry
+}
+
+var errSeqWire = errors.New("order: malformed sequencer datagram")
+
+// seqEnc is an append-only encoder.
+type seqEnc struct{ b []byte }
+
+func (e *seqEnc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *seqEnc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *seqEnc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *seqEnc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *seqEnc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// seqDec is a bounds-checked decoder; err latches on the first short read.
+type seqDec struct {
+	b   []byte
+	err bool
+}
+
+func (d *seqDec) u8() uint8 {
+	if d.err || len(d.b) < 1 {
+		d.err = true
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *seqDec) u32() uint32 {
+	if d.err || len(d.b) < 4 {
+		d.err = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *seqDec) u64() uint64 {
+	if d.err || len(d.b) < 8 {
+		d.err = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *seqDec) boolean() bool { return d.u8() != 0 }
+
+func (d *seqDec) bytes() []byte {
+	n := int(d.u32())
+	if d.err || n < 0 || len(d.b) < n {
+		d.err = true
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+func (e *seqEnc) viewID(v ViewID) {
+	e.u64(v.Epoch)
+	e.u32(uint32(v.Rep))
+}
+
+func (d *seqDec) viewID() ViewID {
+	return ViewID{Epoch: d.u64(), Rep: transport.NodeID(d.u32())}
+}
+
+func (e *seqEnc) entry(m *seqEntry) {
+	e.viewID(m.View)
+	e.u64(m.Seq)
+	e.u32(uint32(m.Sender))
+	e.u64(m.Local)
+	e.boolean(m.Safe)
+	e.u64(m.DupKey)
+	e.bytes(m.Payload)
+}
+
+func (d *seqDec) entry() seqEntry {
+	return seqEntry{
+		View:    d.viewID(),
+		Seq:     d.u64(),
+		Sender:  transport.NodeID(d.u32()),
+		Local:   d.u64(),
+		Safe:    d.boolean(),
+		DupKey:  d.u64(),
+		Payload: d.bytes(),
+	}
+}
+
+func encodePropose(m *seqPropose) []byte {
+	e := &seqEnc{b: make([]byte, 0, 32+len(m.Payload))}
+	e.u8(seqTagPropose)
+	e.viewID(m.View)
+	e.u32(uint32(m.Sender))
+	e.u64(m.Local)
+	e.boolean(m.Safe)
+	e.u64(m.DupKey)
+	e.bytes(m.Payload)
+	return e.b
+}
+
+func decodePropose(b []byte) (*seqPropose, error) {
+	d := &seqDec{b: b}
+	m := &seqPropose{
+		View:    d.viewID(),
+		Sender:  transport.NodeID(d.u32()),
+		Local:   d.u64(),
+		Safe:    d.boolean(),
+		DupKey:  d.u64(),
+		Payload: d.bytes(),
+	}
+	if d.err {
+		return nil, errSeqWire
+	}
+	return m, nil
+}
+
+func encodeOrdered(m *seqEntry) []byte {
+	e := &seqEnc{b: make([]byte, 0, 48+len(m.Payload))}
+	e.u8(seqTagOrdered)
+	e.entry(m)
+	return e.b
+}
+
+func decodeOrdered(b []byte) (*seqEntry, error) {
+	d := &seqDec{b: b}
+	m := d.entry()
+	if d.err {
+		return nil, errSeqWire
+	}
+	return &m, nil
+}
+
+func encodeHeartbeat(m *seqHeartbeat) []byte {
+	e := &seqEnc{b: make([]byte, 0, 32)}
+	e.u8(seqTagHeart)
+	e.viewID(m.View)
+	e.u64(m.HighSeq)
+	e.u64(m.SafePoint)
+	return e.b
+}
+
+func decodeHeartbeat(b []byte) (*seqHeartbeat, error) {
+	d := &seqDec{b: b}
+	m := &seqHeartbeat{View: d.viewID(), HighSeq: d.u64(), SafePoint: d.u64()}
+	if d.err {
+		return nil, errSeqWire
+	}
+	return m, nil
+}
+
+func encodeAck(m *seqAck) []byte {
+	e := &seqEnc{b: make([]byte, 0, 32)}
+	e.u8(seqTagAck)
+	e.viewID(m.View)
+	e.u32(uint32(m.From))
+	e.u64(m.Aru)
+	return e.b
+}
+
+func decodeAck(b []byte) (*seqAck, error) {
+	d := &seqDec{b: b}
+	m := &seqAck{View: d.viewID(), From: transport.NodeID(d.u32()), Aru: d.u64()}
+	if d.err {
+		return nil, errSeqWire
+	}
+	return m, nil
+}
+
+func encodeNack(m *seqNack) []byte {
+	e := &seqEnc{b: make([]byte, 0, 32+8*len(m.Missing))}
+	e.u8(seqTagNack)
+	e.viewID(m.View)
+	e.u32(uint32(m.From))
+	e.u32(uint32(len(m.Missing)))
+	for _, s := range m.Missing {
+		e.u64(s)
+	}
+	return e.b
+}
+
+func decodeNack(b []byte) (*seqNack, error) {
+	d := &seqDec{b: b}
+	m := &seqNack{View: d.viewID(), From: transport.NodeID(d.u32())}
+	n := int(d.u32())
+	if d.err || n > len(d.b)/8 {
+		return nil, errSeqWire
+	}
+	m.Missing = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		m.Missing = append(m.Missing, d.u64())
+	}
+	if d.err {
+		return nil, errSeqWire
+	}
+	return m, nil
+}
+
+func encodeElect(m *seqElect) []byte {
+	e := &seqEnc{b: make([]byte, 0, 16)}
+	e.u8(seqTagElect)
+	e.u64(m.Epoch)
+	e.u32(uint32(m.Cand))
+	return e.b
+}
+
+func decodeElect(b []byte) (*seqElect, error) {
+	d := &seqDec{b: b}
+	m := &seqElect{Epoch: d.u64(), Cand: transport.NodeID(d.u32())}
+	if d.err {
+		return nil, errSeqWire
+	}
+	return m, nil
+}
+
+func encodeElectAck(m *seqElectAck) []byte {
+	e := &seqEnc{b: make([]byte, 0, 64)}
+	e.u8(seqTagElectAck)
+	e.u64(m.Epoch)
+	e.u32(uint32(m.From))
+	e.viewID(m.View)
+	e.u64(m.Delivered)
+	e.u32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e.entry(&m.Entries[i])
+	}
+	return e.b
+}
+
+func decodeElectAck(b []byte) (*seqElectAck, error) {
+	d := &seqDec{b: b}
+	m := &seqElectAck{
+		Epoch:     d.u64(),
+		From:      transport.NodeID(d.u32()),
+		View:      d.viewID(),
+		Delivered: d.u64(),
+	}
+	n := int(d.u32())
+	if d.err || n > len(d.b) {
+		return nil, errSeqWire
+	}
+	m.Entries = make([]seqEntry, 0, n)
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, d.entry())
+	}
+	if d.err {
+		return nil, errSeqWire
+	}
+	return m, nil
+}
+
+func encodeInstall(m *seqInstall) []byte {
+	e := &seqEnc{b: make([]byte, 0, 64)}
+	e.u8(seqTagInstall)
+	e.u64(m.Epoch)
+	e.viewID(m.View)
+	e.u32(uint32(len(m.Members)))
+	for _, id := range m.Members {
+		e.u32(uint32(id))
+	}
+	e.u64(m.HighSeq)
+	e.u32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e.entry(&m.Entries[i])
+	}
+	return e.b
+}
+
+func decodeInstall(b []byte) (*seqInstall, error) {
+	d := &seqDec{b: b}
+	m := &seqInstall{Epoch: d.u64(), View: d.viewID()}
+	nm := int(d.u32())
+	if d.err || nm > len(d.b)/4 {
+		return nil, errSeqWire
+	}
+	m.Members = make([]transport.NodeID, 0, nm)
+	for i := 0; i < nm; i++ {
+		m.Members = append(m.Members, transport.NodeID(d.u32()))
+	}
+	m.HighSeq = d.u64()
+	ne := int(d.u32())
+	if d.err || ne > len(d.b) {
+		return nil, errSeqWire
+	}
+	m.Entries = make([]seqEntry, 0, ne)
+	for i := 0; i < ne; i++ {
+		m.Entries = append(m.Entries, d.entry())
+	}
+	if d.err {
+		return nil, errSeqWire
+	}
+	return m, nil
+}

@@ -346,6 +346,11 @@ func (m *Manager) InPrimaryComponent() bool { return m.view.Primary }
 // Live reports whether the replica's state is current. Loop-only.
 func (m *Manager) Live() bool { return m.live }
 
+// Recovering reports whether this replica was configured to join through a
+// GET_STATE transfer (§3.2). The flag is static: it still reads true after
+// the transfer completes and the replica goes live.
+func (m *Manager) Recovering() bool { return m.recovering }
+
 // Obs returns the manager's recorder (nil when observability is off).
 func (m *Manager) Obs() *obs.Recorder { return m.obs }
 

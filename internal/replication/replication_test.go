@@ -97,10 +97,10 @@ func (h *repHarness) counter(id transport.NodeID, name string) uint64 {
 func (h *repHarness) addStack(id transport.NodeID, ring []transport.NodeID, bootstrap bool) *gcs.Stack {
 	h.t.Helper()
 	s, err := gcs.New(gcs.Config{
-		Runtime:     h.k,
-		Transport:   h.net.Endpoint(id),
-		RingMembers: ring,
-		Bootstrap:   bootstrap,
+		Runtime:   h.k,
+		Transport: h.net.Endpoint(id),
+		Members:   ring,
+		Bootstrap: bootstrap,
 	})
 	if err != nil {
 		h.t.Fatal(err)
@@ -433,7 +433,7 @@ func TestCtxCallAsyncCompletion(t *testing.T) {
 	k := sim.NewKernel(7)
 	net := simnet.NewNetwork(k, nil)
 	s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(0),
-		RingMembers: []transport.NodeID{0}, Bootstrap: true})
+		Members: []transport.NodeID{0}, Bootstrap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +482,7 @@ func TestSpawnThreadDistinctIDs(t *testing.T) {
 	k := sim.NewKernel(8)
 	net := simnet.NewNetwork(k, nil)
 	s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(0),
-		RingMembers: []transport.NodeID{0}, Bootstrap: true})
+		Members: []transport.NodeID{0}, Bootstrap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -567,7 +567,7 @@ func TestConfigValidation(t *testing.T) {
 	k := sim.NewKernel(1)
 	net := simnet.NewNetwork(k, nil)
 	s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(0),
-		RingMembers: []transport.NodeID{0}, Bootstrap: true})
+		Members: []transport.NodeID{0}, Bootstrap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -664,7 +664,7 @@ func TestStatusCallback(t *testing.T) {
 	stacks := make(map[transport.NodeID]*gcs.Stack)
 	for _, id := range ring {
 		s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(id),
-			RingMembers: ring, Bootstrap: true})
+			Members: ring, Bootstrap: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -87,10 +87,10 @@ func TestRealtimeUDPStack(t *testing.T) {
 		loops[i] = sim.NewLoop()
 		t.Cleanup(loops[i].Close)
 		s, err := gcs.New(gcs.Config{
-			Runtime:     loops[i],
-			Transport:   trs[i],
-			RingMembers: ids,
-			Bootstrap:   true,
+			Runtime:   loops[i],
+			Transport: trs[i],
+			Members:   ids,
+			Bootstrap: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -166,7 +166,7 @@ func TestClientRetransmission(t *testing.T) {
 	stacks := make([]*gcs.Stack, len(ids))
 	for i, id := range ids {
 		s, err := gcs.New(gcs.Config{Runtime: k, Transport: net.Endpoint(id),
-			RingMembers: ids, Bootstrap: true})
+			Members: ids, Bootstrap: true})
 		if err != nil {
 			t.Fatal(err)
 		}
