@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-concurrent loadtest
+.PHONY: check fmt vet lint build test race bench bench-concurrent loadtest campaign-smoke campaign
 
 # check is the CI gate: formatting, vet, the project linter, build, the
-# race-enabled tests, the batched-round smoke and the timeserve load smoke.
-check: fmt vet lint build race bench-concurrent loadtest
+# race-enabled tests, the batched-round smoke, the timeserve load smoke and
+# the campaign smoke.
+check: fmt vet lint build race bench-concurrent loadtest campaign-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -49,3 +50,14 @@ bench-concurrent:
 # violations and zero group-clock regressions. Writes BENCH_timeserve.json.
 loadtest:
 	$(GO) run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve.json
+
+# campaign-smoke runs two 100-node campaign cells (churn + drift outliers);
+# each self-gates on zero group-clock regressions, zero staleness-bound
+# violations and bounded reconvergence. Deterministic: same seed, same JSON.
+campaign-smoke:
+	$(GO) run ./cmd/ctscampaign -scenarios churn-storm,slow-clocks -nodes 100 -json BENCH_campaign_smoke.json
+
+# campaign sweeps the full builtin scenario catalog and writes plot-ready
+# BENCH_campaign.json + BENCH_campaign.csv (see EXPERIMENTS.md).
+campaign:
+	$(GO) run ./cmd/ctscampaign -json BENCH_campaign.json -csv BENCH_campaign.csv

@@ -42,4 +42,9 @@ go run ./cmd/ctsbench -exp fig5concurrent -jsonConcurrent BENCH_fig5_concurrent.
 echo "== ctsload smoke (BENCH_timeserve.json) =="
 go run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve.json
 
+echo "== ctscampaign smoke (BENCH_campaign_smoke.json) =="
+# Two 100-node campaign cells, each self-gating on zero group-clock
+# regressions, zero staleness-bound violations and bounded reconvergence.
+go run ./cmd/ctscampaign -scenarios churn-storm,slow-clocks -nodes 100 -json BENCH_campaign_smoke.json
+
 echo "CI checks passed."

@@ -315,7 +315,19 @@ func run(exp string, seed int64, full bool, trace, jsonOut string, readers int, 
 			time.Since(start).Round(time.Millisecond), res.Render())
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q", exp)
+		names := make([]string, 0, len(runners)+len(aliases)+1)
+		for _, r := range runners {
+			names = append(names, r.name)
+		}
+		for alias := range aliases {
+			names = append(names, alias)
+		}
+		sort.Strings(names)
+		names = append(names, "all")
+		if exp == "" {
+			return fmt.Errorf("no experiment given; available: %s", strings.Join(names, ", "))
+		}
+		return fmt.Errorf("unknown experiment %q; available: %s", exp, strings.Join(names, ", "))
 	}
 	if fig5 != nil && jsonOut != "" {
 		if err := writeFig5JSON(jsonOut, seed, invocations, fig5); err != nil {

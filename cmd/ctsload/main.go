@@ -59,13 +59,14 @@ func main() {
 		duration  = flag.Duration("duration", 5*time.Second, "measurement duration")
 		minQPS    = flag.Float64("min-qps", 0, "fail unless sustained queries/s reaches this (0 disables)")
 		jsonOut   = flag.String("json", "BENCH_timeserve.json", "write machine-readable results here (empty disables)")
+		seed      = flag.Int64("seed", 2003, "run label recorded in the result JSON (the live loop has no simulation RNG)")
 	)
 	flag.Parse()
 	if err := run(config{
 		targets: *targets, inprocess: *inprocess, replicas: *replicas,
 		shards: *shards, lease: *lease, mode: *mode, rate: *rate,
 		workers: *workers, batch: *batch, duration: *duration,
-		minQPS: *minQPS, jsonOut: *jsonOut,
+		minQPS: *minQPS, jsonOut: *jsonOut, seed: *seed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsload:", err)
 		os.Exit(1)
@@ -85,6 +86,7 @@ type config struct {
 	duration  time.Duration
 	minQPS    float64
 	jsonOut   string
+	seed      int64
 }
 
 // checker verifies the lease invariants across all workers. Both checks use
@@ -195,8 +197,11 @@ func (c *checker) onResponse(r timeserve.Response, pre *snapshot) {
 	}
 }
 
-// result is the machine-readable run record.
+// result is the machine-readable run record. Scenario and Seed identify
+// the row across bench files (every BENCH_*.json row carries both).
 type result struct {
+	Scenario   string  `json:"scenario"`
+	Seed       int64   `json:"seed"`
 	Mode       string  `json:"mode"`
 	Targets    int     `json:"targets"`
 	Workers    int     `json:"workers"`
@@ -306,6 +311,8 @@ func run(cfg config) error {
 		}
 	}
 	var res result
+	res.Scenario = "timeserve-" + cfg.mode
+	res.Seed = cfg.seed
 	res.Mode = cfg.mode
 	res.Targets = len(targets)
 	res.Workers = cfg.workers

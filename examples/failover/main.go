@@ -18,6 +18,7 @@ import (
 	"log"
 	"time"
 
+	"cts/internal/campaign"
 	"cts/internal/experiment"
 	"cts/internal/replication"
 	"cts/internal/rpc"
@@ -35,11 +36,11 @@ func main() {
 
 		cluster, err := experiment.NewCluster(experiment.ClusterConfig{
 			Seed: 7,
-			Replicas: []experiment.ClockSpec{
-				{Offset: 30 * time.Second}, // primary P1
-				{Offset: 25 * time.Second}, // backup P2: 5s behind
-				{Offset: 25 * time.Second}, // backup P3
-			},
+			Topology: campaign.Explicit(
+				experiment.ClockSpec{Offset: 30 * time.Second}, // primary P1
+				experiment.ClockSpec{Offset: 25 * time.Second}, // backup P2: 5s behind
+				experiment.ClockSpec{Offset: 25 * time.Second}, // backup P3
+			),
 			Style:           replication.Passive,
 			Mode:            mode,
 			CheckpointEvery: 2,

@@ -16,6 +16,7 @@ import (
 	"log"
 	"time"
 
+	"cts/internal/campaign"
 	"cts/internal/experiment"
 	"cts/internal/replication"
 	"cts/internal/rpc"
@@ -24,10 +25,10 @@ import (
 func main() {
 	cluster, err := experiment.NewCluster(experiment.ClusterConfig{
 		Seed: 11,
-		Replicas: []experiment.ClockSpec{
-			{Offset: 0},
-			{Offset: 2 * time.Second},
-		},
+		Topology: campaign.Explicit(
+			experiment.ClockSpec{Offset: 0},
+			experiment.ClockSpec{Offset: 2 * time.Second},
+		),
 		Style:   replication.Active,
 		Mode:    experiment.ModeCTS,
 		Observe: true,

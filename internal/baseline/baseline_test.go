@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cts/internal/baseline"
+	"cts/internal/campaign"
 	"cts/internal/experiment"
 	"cts/internal/hwclock"
 	"cts/internal/replication"
@@ -40,8 +41,10 @@ func readOnce(t *testing.T, c *experiment.Cluster) time.Duration {
 func TestPrimaryBackupConsistentWhilePrimaryAlive(t *testing.T) {
 	c, err := experiment.NewCluster(experiment.ClusterConfig{
 		Seed: 1,
-		Replicas: []experiment.ClockSpec{
-			{Offset: 20 * time.Second}, {Offset: 0}, {Offset: 40 * time.Second}},
+		Topology: campaign.Explicit(
+			experiment.ClockSpec{Offset: 20 * time.Second},
+			experiment.ClockSpec{Offset: 0},
+			experiment.ClockSpec{Offset: 40 * time.Second}),
 		Style: replication.Passive,
 		Mode:  experiment.ModePrimaryBackup,
 	})
@@ -76,8 +79,10 @@ func TestPrimaryBackupRollsBackOnFailover(t *testing.T) {
 	// Backup's clock 5s behind the primary's.
 	c, err := experiment.NewCluster(experiment.ClusterConfig{
 		Seed: 2,
-		Replicas: []experiment.ClockSpec{
-			{Offset: 20 * time.Second}, {Offset: 15 * time.Second}, {Offset: 15 * time.Second}},
+		Topology: campaign.Explicit(
+			experiment.ClockSpec{Offset: 20 * time.Second},
+			experiment.ClockSpec{Offset: 15 * time.Second},
+			experiment.ClockSpec{Offset: 15 * time.Second}),
 		Style:           replication.Passive,
 		Mode:            experiment.ModePrimaryBackup,
 		CheckpointEvery: 2,
@@ -109,8 +114,10 @@ func TestPrimaryBackupRollsBackOnFailover(t *testing.T) {
 func TestPrimaryBackupFastForwardOnFailover(t *testing.T) {
 	c, err := experiment.NewCluster(experiment.ClusterConfig{
 		Seed: 3,
-		Replicas: []experiment.ClockSpec{
-			{Offset: 20 * time.Second}, {Offset: 27 * time.Second}, {Offset: 27 * time.Second}},
+		Topology: campaign.Explicit(
+			experiment.ClockSpec{Offset: 20 * time.Second},
+			experiment.ClockSpec{Offset: 27 * time.Second},
+			experiment.ClockSpec{Offset: 27 * time.Second}),
 		Style:           replication.Passive,
 		Mode:            experiment.ModePrimaryBackup,
 		CheckpointEvery: 2,
@@ -151,7 +158,7 @@ func TestNewPrimaryBackupValidation(t *testing.T) {
 func TestPrimaryBackupReportsWinners(t *testing.T) {
 	c, err := experiment.NewCluster(experiment.ClusterConfig{
 		Seed:     4,
-		Replicas: []experiment.ClockSpec{{}, {}, {}},
+		Topology: campaign.Explicit(experiment.ClockSpec{}, experiment.ClockSpec{}, experiment.ClockSpec{}),
 		Style:    replication.Passive,
 		Mode:     experiment.ModePrimaryBackup,
 	})

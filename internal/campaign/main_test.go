@@ -1,0 +1,11 @@
+package campaign
+
+import (
+	"testing"
+
+	"cts/internal/testutil"
+)
+
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

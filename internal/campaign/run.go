@@ -1,0 +1,259 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metrics are one cell's plot-ready measurements. Everything is derived
+// from virtual time and deterministic counters: the same cell (scenario,
+// nodes, seed) always produces identical metrics.
+type Metrics struct {
+	// Gate counters — the matrix passes only when the violation counters
+	// are zero and reconvergence met its bound.
+	Regressions         uint64 `json:"regressions"`
+	StalenessViolations uint64 `json:"staleness_violations"`
+	MonotonicityFixes   uint64 `json:"monotonicity_fixes"`
+	// ReconvergeMS is how long after the last scheduled fault every up
+	// node served a valid lease with mutually consistent intervals again
+	// (0 with no faults).
+	ReconvergeMS float64 `json:"reconverge_ms"`
+
+	// Lease-plane quality.
+	Samples     uint64  `json:"samples"`
+	MaxBoundUS  float64 `json:"max_bound_us"`
+	MeanBoundUS float64 `json:"mean_bound_us"`
+	MaxSpreadUS float64 `json:"max_spread_us"`
+
+	// Traffic and round counters, summed over nodes.
+	Rounds        uint64 `json:"rounds"`
+	Refreshes     uint64 `json:"refreshes"`
+	CCSSent       uint64 `json:"ccs_sent"`
+	Invalidations uint64 `json:"lease_invalidations"`
+	ViewsEmitted  uint64 `json:"views_emitted"`
+	NetDropped    uint64 `json:"net_dropped"`
+}
+
+// Result is one completed cell.
+type Result struct {
+	Scenario string  `json:"scenario"`
+	Nodes    int     `json:"nodes"`
+	Seed     int64   `json:"seed"`
+	Orderer  string  `json:"orderer"`
+	Metrics  Metrics `json:"metrics"`
+	Pass     bool    `json:"pass"`
+	// Failures lists every gate the cell missed (empty when Pass).
+	Failures []string `json:"failures,omitempty"`
+}
+
+// monitor folds lease samples into gate counters. The staleness check is
+// the load-generator's argument (see ctsload): the true group clock only
+// advances, so the highest lower bound (GroupClock−Bound) ever served is a
+// floor every later reading's upper bound must clear. Like ctsload, the
+// comparison is happened-before only — a reading is checked against the
+// floor recorded before its sample pass began, never against readings from
+// the same instant on other nodes. Lease bounds are honest about each
+// node's own timeline (margin, drift, measured ordering lag), but nodes
+// that adopt rounds they did not propose have no lag measurement of their
+// own, so simultaneous cross-node comparison would demand a worst-case
+// bound the lease plane never promises.
+type monitor struct {
+	floor    time.Duration         // max of GroupClock−Bound from prior passes
+	lastSeen map[int]time.Duration // per node: last GroupClock served
+	m        Metrics
+	// reconvergence bookkeeping
+	faultEnd      time.Duration // absolute time the last fault clears
+	reconvergedAt time.Duration // earliest all-serving sample after faultEnd
+}
+
+func newMonitor() *monitor {
+	return &monitor{lastSeen: make(map[int]time.Duration), reconvergedAt: -1}
+}
+
+// sample reads every node's lease between kernel steps. One call is one
+// pass: readings are compared against the floor as of the previous pass
+// (the happened-before discipline above), then this pass's lower bounds
+// are folded into the floor for the next one.
+func (mo *monitor) sample(d *deployment, now time.Duration) {
+	var (
+		allUp    = true
+		okCount  int
+		passMax  = mo.floor // highest GroupClock−Bound seen this pass
+		minClock time.Duration
+		maxClock time.Duration
+	)
+	for i, nd := range d.nodes {
+		r, ok := nd.svc.LeaseRead()
+		if !ok {
+			if nd.up {
+				allUp = false
+			}
+			continue
+		}
+		mo.m.Samples++
+		if last, seen := mo.lastSeen[i]; seen && r.GroupClock < last {
+			mo.m.Regressions++
+		}
+		mo.lastSeen[i] = r.GroupClock
+		if r.GroupClock+r.Bound < mo.floor {
+			mo.m.StalenessViolations++
+		}
+		if lo := r.GroupClock - r.Bound; lo > passMax {
+			passMax = lo
+		}
+		bound := float64(r.Bound) / float64(time.Microsecond)
+		if bound > mo.m.MaxBoundUS {
+			mo.m.MaxBoundUS = bound
+		}
+		mo.m.MeanBoundUS += bound // normalized in finish
+		if okCount == 0 || r.GroupClock < minClock {
+			minClock = r.GroupClock
+		}
+		if okCount == 0 || r.GroupClock > maxClock {
+			maxClock = r.GroupClock
+		}
+		okCount++
+	}
+	mo.floor = passMax
+	if okCount > 1 {
+		if spread := float64(maxClock-minClock) / float64(time.Microsecond); spread > mo.m.MaxSpreadUS {
+			mo.m.MaxSpreadUS = spread
+		}
+	}
+	// Reconvergence: the first sample past the fault schedule where every
+	// schedule-up node serves a valid lease again. Faults invalidate leases
+	// through view changes (epoch bump), so a post-fault ok reading is
+	// evidence the node rejoined, regained a primary component, and
+	// republished — not a leftover pre-fault lease.
+	if now >= mo.faultEnd && mo.reconvergedAt < 0 && allUp && okCount > 0 {
+		mo.reconvergedAt = now
+	}
+}
+
+func (mo *monitor) finish() {
+	if mo.m.Samples > 0 {
+		mo.m.MeanBoundUS /= float64(mo.m.Samples)
+	}
+}
+
+// Run executes one cell: build the deployment, arm the schedule, drive
+// refresh rounds, sample leases, gather counters, and gate.
+func Run(sc Scenario, nodes int, seed int64) (Result, error) {
+	d, err := build(sc, nodes, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	defer d.close()
+
+	res := Result{Scenario: sc.Name, Nodes: nodes, Seed: seed, Orderer: string(d.orderer)}
+	k := d.k
+	start := k.Now()
+	end := start + sc.Duration
+
+	mo := newMonitor()
+	// With no faults the whole run must stay consistent, so the clock on
+	// the reconvergence gate starts immediately.
+	mo.faultEnd = start
+	if last := sc.lastFaultEnd(); last > 0 {
+		mo.faultEnd = start + last
+	}
+	d.installSchedule(start)
+
+	// Prime the lease plane: one refresh wave, then wait until every node
+	// serves, so the monitor starts from a converged baseline. The budget
+	// scales with the refresh cadence — WAN scenarios pace refreshes (and
+	// thus rounds) hundreds of ms apart.
+	d.refreshTick()
+	primeDeadline := k.Now() + 200*time.Millisecond + 20*sc.refreshEvery()
+	for k.Now() < primeDeadline {
+		k.RunFor(sc.refreshEvery())
+		d.refreshTick()
+		if primed(d) {
+			break
+		}
+	}
+	if !primed(d) {
+		return Result{}, fmt.Errorf("campaign: %q/%d: lease plane did not prime", sc.Name, nodes)
+	}
+
+	// Main loop: refresh cadence and monitor sampling between kernel steps.
+	refreshEvery := sc.refreshEvery()
+	sampleEvery := sc.sampleEvery()
+	var tick func()
+	tick = func() {
+		d.refreshTick()
+		if k.Now()+refreshEvery <= end {
+			k.After(refreshEvery, tick)
+		}
+	}
+	k.After(refreshEvery, tick)
+	for k.Now() < end {
+		step := sampleEvery
+		if left := end - k.Now(); left < step {
+			step = left
+		}
+		k.RunFor(step)
+		mo.sample(d, k.Now())
+	}
+	mo.finish()
+
+	res.Metrics = mo.m
+	if mo.reconvergedAt >= 0 {
+		res.Metrics.ReconvergeMS = float64(mo.reconvergedAt-mo.faultEnd) / float64(time.Millisecond)
+	}
+	gather(d, &res.Metrics)
+	res.Pass, res.Failures = gate(sc, mo, res.Metrics)
+	return res, nil
+}
+
+// primed reports whether every node serves a lease.
+func primed(d *deployment) bool {
+	for _, nd := range d.nodes {
+		if _, ok := nd.svc.LeaseRead(); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// gather sums the deployment's obs-registry counters into the metrics.
+func gather(d *deployment, m *Metrics) {
+	for _, s := range d.rec.Samples() {
+		switch s.Name {
+		case "core.rounds_initiated", "core.rounds_observed":
+			m.Rounds += s.Value
+		case "core.lease_refreshes":
+			m.Refreshes += s.Value
+		case "core.ccs_sent":
+			m.CCSSent += s.Value
+		case "core.lease_invalidations":
+			m.Invalidations += s.Value
+		case "core.monotonicity_fixes":
+			m.MonotonicityFixes += s.Value
+		case "gcs.views_emitted":
+			m.ViewsEmitted += s.Value
+		}
+	}
+	_, _, dropped := d.net.Stats()
+	m.NetDropped = dropped
+}
+
+// gate applies the per-scenario self-gates.
+func gate(sc Scenario, mo *monitor, m Metrics) (bool, []string) {
+	var fails []string
+	if m.Regressions > 0 {
+		fails = append(fails, fmt.Sprintf("%d group-clock regressions (want 0)", m.Regressions))
+	}
+	if m.StalenessViolations > 0 {
+		fails = append(fails, fmt.Sprintf("%d staleness-bound violations (want 0)", m.StalenessViolations))
+	}
+	if m.MonotonicityFixes > 0 {
+		fails = append(fails, fmt.Sprintf("%d monotonicity fixes (want 0: no replica proposed backwards)", m.MonotonicityFixes))
+	}
+	if mo.reconvergedAt < 0 {
+		fails = append(fails, "never reconverged after the last fault")
+	} else if rec := time.Duration(m.ReconvergeMS * float64(time.Millisecond)); rec > sc.Gates.ReconvergeWithin {
+		fails = append(fails, fmt.Sprintf("reconverged in %.1fms, gate %v", m.ReconvergeMS, sc.Gates.ReconvergeWithin))
+	}
+	return len(fails) == 0, fails
+}

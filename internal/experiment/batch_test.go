@@ -71,7 +71,7 @@ func TestConcurrentReadersDeterminism(t *testing.T) {
 	for _, disable := range []bool{false, true} {
 		c, err := NewCluster(ClusterConfig{
 			Seed:            11,
-			Replicas:        testbedClocks(),
+			Topology:        testbedTopology(),
 			Style:           replication.Active,
 			Mode:            ModeCTS,
 			DisableBatching: disable,
@@ -133,7 +133,7 @@ func TestConcurrentReadersDeterminism(t *testing.T) {
 func TestCrashDuringBatchedReads(t *testing.T) {
 	c, err := NewCluster(ClusterConfig{
 		Seed:     23,
-		Replicas: testbedClocks(),
+		Topology: testbedTopology(),
 		Style:    replication.Active,
 		Mode:     ModeCTS,
 		Observe:  true,

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"cts/internal/campaign"
 	"cts/internal/replication"
 	"cts/internal/rpc"
 	"cts/internal/transport"
@@ -33,7 +34,7 @@ func TestChurnStress(t *testing.T) {
 	}
 	c, err := NewCluster(ClusterConfig{
 		Seed:          seed,
-		Replicas:      specs,
+		Topology:      campaign.Explicit(specs...),
 		Style:         replication.Active,
 		Mode:          ModeCTS,
 		Observe:       true,

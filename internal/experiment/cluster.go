@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cts/internal/baseline"
+	"cts/internal/campaign"
 	"cts/internal/core"
 	"cts/internal/faultinject"
 	"cts/internal/gcs"
@@ -47,16 +48,20 @@ const (
 	ModePrimaryBackup
 )
 
-// ClockSpec describes one replica's physical hardware clock.
-type ClockSpec struct {
-	Offset   time.Duration
-	DriftPPM float64
-}
+// ClockSpec describes one replica's physical hardware clock. It is the
+// campaign vocabulary: experiment clusters and simulation campaigns share
+// one topology description.
+type ClockSpec = campaign.ClockSpec
 
 // ClusterConfig configures a simulated deployment.
 type ClusterConfig struct {
-	Seed     int64
-	Replicas []ClockSpec // one replica per entry, on nodes 1..n
+	Seed int64
+	// Topology declares the deployment: replica clocks (explicit specs or a
+	// generated plan), link fabric, and ordering protocol. Replicas run on
+	// nodes 1..n; the client rides node 0. An empty Topology.Orderer takes
+	// DefaultOrderer (totem unless the package test flag -orderer overrides
+	// it), and the default LAN link profile is the calibrated Ethernet model.
+	Topology campaign.Topology
 	Style    replication.Style
 	Mode     TimeMode
 	// AgreedCCS selects agreed instead of safe delivery for CCS messages
@@ -70,8 +75,6 @@ type ClusterConfig struct {
 	MeanDelay    time.Duration
 	ExternalGain float64
 	ExternalSkew time.Duration // max transient skew of the reference
-	// Latency overrides the default Ethernet model.
-	Latency simnet.LatencyModel
 	// CheckpointEvery for passive replication; default 10.
 	CheckpointEvery int
 	// ClientTimeout bounds each invocation; zero = none.
@@ -82,16 +85,12 @@ type ClusterConfig struct {
 	Observe bool
 	// TraceSink, when set, receives the round trace events (implies Observe).
 	TraceSink obs.TraceSink
-	// Orderer selects the total-order protocol under every stack. Empty
-	// takes DefaultOrderer (totem unless the package test flag -orderer
-	// overrides it).
-	Orderer order.Kind
 }
 
-// DefaultOrderer is the ordering protocol clusters run when
-// ClusterConfig.Orderer is empty. The experiment package's -orderer test
-// flag overrides it, so the whole experiment suite can be exercised against
-// a different orderer (`go test ./internal/experiment -orderer=seq`).
+// DefaultOrderer is the ordering protocol clusters run when the topology's
+// Orderer is empty. The experiment package's -orderer test flag overrides
+// it, so the whole experiment suite can be exercised against a different
+// orderer (`go test ./internal/experiment -orderer=seq`).
 var DefaultOrderer = order.KindTotem
 
 // Cluster is a running simulated deployment: client on node 0, replicas on
@@ -124,19 +123,27 @@ type Cluster struct {
 
 // NewCluster builds and starts the deployment, then lets the ring settle.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	if len(cfg.Replicas) == 0 {
+	n := cfg.Topology.NodeCount()
+	if n == 0 {
 		return nil, fmt.Errorf("experiment: at least one replica required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Style == 0 {
 		cfg.Style = replication.Active
 	}
-	if cfg.Orderer == "" {
-		cfg.Orderer = DefaultOrderer
+	if cfg.Topology.Orderer == "" {
+		cfg.Topology.Orderer = DefaultOrderer
+	}
+	model, err := cfg.Topology.Links.Model()
+	if err != nil {
+		return nil, err
 	}
 	k := sim.NewKernel(cfg.Seed)
 	c := &Cluster{
 		K:         k,
-		Net:       simnet.NewNetwork(k, cfg.Latency),
+		Net:       simnet.NewNetwork(k, model),
 		Stacks:    make(map[transport.NodeID]*gcs.Stack),
 		Mgrs:      make(map[transport.NodeID]*replication.Manager),
 		Svcs:      make(map[transport.NodeID]*core.TimeService),
@@ -154,7 +161,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.Obs = rec
 	}
-	for i := 0; i <= len(cfg.Replicas); i++ {
+	for i := 0; i <= n; i++ {
 		c.nodes = append(c.nodes, transport.NodeID(i))
 	}
 	// Client stack on node 0.
@@ -172,12 +179,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c.Client = cl
 	// Replicas on nodes 1..n.
-	for i, spec := range cfg.Replicas {
+	for i := 0; i < n; i++ {
 		id := transport.NodeID(i + 1)
 		if err := c.addStack(id, true); err != nil {
 			return nil, err
 		}
-		if err := c.addReplica(id, spec, false); err != nil {
+		if err := c.addReplica(id, cfg.Topology.Clocks.Spec(cfg.Seed, i, n), false); err != nil {
 			return nil, err
 		}
 	}
@@ -194,7 +201,7 @@ func (c *Cluster) addStack(id transport.NodeID, bootstrap bool) error {
 		Transport: c.Net.Endpoint(id),
 		Members:   c.nodes,
 		Bootstrap: bootstrap,
-		Order:     order.Options{Kind: c.cfg.Orderer},
+		Order:     order.Options{Kind: c.cfg.Topology.Orderer},
 		Obs:       c.Obs.ForNode(uint32(id)),
 	})
 	if err != nil {
@@ -284,7 +291,7 @@ func (c *Cluster) AddRecoveringReplica(spec ClockSpec) (transport.NodeID, error)
 		Transport: c.Net.Endpoint(id),
 		Members:   c.nodes,
 		Bootstrap: false,
-		Order:     order.Options{Kind: c.cfg.Orderer},
+		Order:     order.Options{Kind: c.cfg.Topology.Orderer},
 		Obs:       c.Obs.ForNode(uint32(id)),
 	})
 	if err != nil {

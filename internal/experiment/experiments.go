@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"cts/internal/campaign"
 	"cts/internal/core"
 	"cts/internal/obs"
 	"cts/internal/replication"
@@ -28,6 +29,12 @@ func testbedClocks() []ClockSpec {
 		{Offset: 3 * time.Millisecond, DriftPPM: -9},
 		{Offset: -2 * time.Millisecond, DriftPPM: 21},
 	}
+}
+
+// testbedTopology is the paper testbed as a campaign topology: the explicit
+// clocks above on calibrated LAN links, under the default orderer.
+func testbedTopology() campaign.Topology {
+	return campaign.Explicit(testbedClocks()...)
 }
 
 // ---------------------------------------------------------------------------
@@ -74,7 +81,7 @@ func runFigure5(seed int64, invocations int, sink obs.TraceSink, observe bool) (
 	for _, mode := range []TimeMode{ModeCTS, ModeLocal} {
 		cc := ClusterConfig{
 			Seed:     seed,
-			Replicas: testbedClocks(),
+			Topology: testbedTopology(),
 			Style:    replication.Active,
 			Mode:     mode,
 		}
@@ -173,7 +180,7 @@ type MsgCountsResult struct {
 func RunMessageCounts(seed int64, ops int) (*MsgCountsResult, error) {
 	c, err := NewCluster(ClusterConfig{
 		Seed:     seed,
-		Replicas: testbedClocks(),
+		Topology: testbedTopology(),
 		Style:    replication.Active,
 		Mode:     ModeCTS,
 		Observe:  true,
@@ -288,7 +295,7 @@ type Figure6Result struct {
 func RunFigure6(seed int64, ops, rounds int) (*Figure6Result, error) {
 	c, err := NewCluster(ClusterConfig{
 		Seed:     seed,
-		Replicas: testbedClocks(),
+		Topology: testbedTopology(),
 		Style:    replication.Active,
 		Mode:     ModeCTS,
 	})
@@ -389,7 +396,7 @@ func RunFigure1(seed int64, ops int) (*Figure1Result, error) {
 	for _, mode := range []TimeMode{ModeLocal, ModeCTS} {
 		c, err := NewCluster(ClusterConfig{
 			Seed:     seed,
-			Replicas: []ClockSpec{{}, {}, {}}, // perfectly synchronized clocks
+			Topology: campaign.Explicit(ClockSpec{}, ClockSpec{}, ClockSpec{}), // perfectly synchronized clocks
 			Style:    replication.Active,
 			Mode:     mode,
 		})
@@ -468,11 +475,11 @@ func RunRollback(seed int64, backupSkew time.Duration) (*RollbackResult, error) 
 	for _, mode := range []TimeMode{ModePrimaryBackup, ModeCTS} {
 		c, err := NewCluster(ClusterConfig{
 			Seed: seed,
-			Replicas: []ClockSpec{
-				{Offset: 10 * time.Second},              // primary (node 1)
-				{Offset: 10*time.Second + backupSkew},   // backup (node 2)
-				{Offset: 10*time.Second + backupSkew/2}, // backup (node 3)
-			},
+			Topology: campaign.Explicit(
+				ClockSpec{Offset: 10 * time.Second},              // primary (node 1)
+				ClockSpec{Offset: 10*time.Second + backupSkew},   // backup (node 2)
+				ClockSpec{Offset: 10*time.Second + backupSkew/2}, // backup (node 3)
+			),
 			Style:           replication.Passive,
 			Mode:            mode,
 			CheckpointEvery: 2,
@@ -548,7 +555,7 @@ type RecoveryResult struct {
 func RunRecovery(seed int64, newClockOffset time.Duration) (*RecoveryResult, error) {
 	c, err := NewCluster(ClusterConfig{
 		Seed:     seed,
-		Replicas: []ClockSpec{{Offset: 0}, {Offset: 2 * time.Second}},
+		Topology: campaign.Explicit(ClockSpec{Offset: 0}, ClockSpec{Offset: 2 * time.Second}),
 		Style:    replication.Active,
 		Mode:     ModeCTS,
 		Observe:  true,
@@ -634,7 +641,7 @@ func RunDrift(seed int64, ops int) (*DriftResult, error) {
 	for _, comp := range []core.Compensation{core.CompNone, core.CompMeanDelay, core.CompExternal} {
 		c, err := NewCluster(ClusterConfig{
 			Seed:         seed,
-			Replicas:     testbedClocks(),
+			Topology:     testbedTopology(),
 			Style:        replication.Active,
 			Mode:         ModeCTS,
 			Compensation: comp,
@@ -775,7 +782,7 @@ func RunScaling(seed int64, sizes []int, invocations int) (*ScalingResult, error
 		}
 		c, err := NewCluster(ClusterConfig{
 			Seed:     seed,
-			Replicas: specs,
+			Topology: campaign.Explicit(specs...),
 			Style:    replication.Active,
 			Mode:     ModeCTS,
 		})
@@ -879,7 +886,7 @@ func RunFigure5Concurrent(seed int64, readers, opsPerReader int) (*Figure5Concur
 	for _, mode := range []TimeMode{ModeCTS, ModeLocal} {
 		cc := ClusterConfig{
 			Seed:     seed,
-			Replicas: testbedClocks(),
+			Topology: testbedTopology(),
 			Style:    replication.Active,
 			Mode:     mode,
 		}
@@ -985,7 +992,7 @@ func RunCCSAblation(seed int64, invocations int) (*AblationResult, error) {
 	measure := func(mode TimeMode, agreed bool) (time.Duration, error) {
 		c, err := NewCluster(ClusterConfig{
 			Seed:      seed,
-			Replicas:  testbedClocks(),
+			Topology:  testbedTopology(),
 			Style:     replication.Active,
 			Mode:      mode,
 			AgreedCCS: agreed,

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"cts/internal/campaign"
 	"cts/internal/core"
 	"cts/internal/replication"
 	"cts/internal/transport"
@@ -65,7 +66,7 @@ func leaseCluster(t *testing.T, seed int64, style replication.Style, specs []Clo
 	t.Helper()
 	c, err := NewCluster(ClusterConfig{
 		Seed:     seed,
-		Replicas: specs,
+		Topology: campaign.Explicit(specs...),
 		Style:    style,
 		Mode:     ModeCTS,
 		Observe:  true,

@@ -1,0 +1,86 @@
+package faultinject
+
+import (
+	"time"
+
+	"cts/internal/simnet"
+	"cts/internal/transport"
+)
+
+// This file adds the scheduled fault families the campaign subsystem drives
+// on top of the point primitives in faultinject.go: link-shaping windows,
+// asymmetric and partial partitions, correlated loss bursts, and endpoint
+// isolation windows (a churn mechanism that keeps protocol state alive, used
+// where a full crash/restart is not the point of the scenario).
+
+// ShapeWindow installs a directed link-shaping rule on src→dst during
+// [from, to). Nil src or dst means "every node" (see simnet.ShapeLinks).
+func (i *Injector) ShapeWindow(from, to time.Duration, src, dst []transport.NodeID, shape simnet.LinkShape) {
+	i.k.At(from, func() {
+		remove := i.net.ShapeLinks(src, dst, shape)
+		i.k.At(to, remove)
+	})
+}
+
+// AsymmetricPartitionAt blocks the directed links a→b during [from, to);
+// traffic from b to a keeps flowing. The one-way cut exercises exactly the
+// failure mode component partitions cannot express.
+func (i *Injector) AsymmetricPartitionAt(from, to time.Duration, a, b []transport.NodeID) {
+	i.k.At(from, func() {
+		heal := i.net.BlockLinks(a, b)
+		i.k.At(to, heal)
+	})
+}
+
+// PartialPartitionAt cuts a↔b in both directions during [from, to) while
+// third parties stay connected to both sides.
+func (i *Injector) PartialPartitionAt(from, to time.Duration, a, b []transport.NodeID) {
+	i.k.At(from, func() {
+		heal := i.net.PartialPartition(a, b)
+		i.k.At(to, heal)
+	})
+}
+
+// LossBursts schedules count correlated loss bursts: starting at from, each
+// burst raises the network-wide loss probability to p for burst long, then
+// clears it for gap before the next burst. This is the campaign's
+// "correlated loss" and "token-loss cascade" weather: repeated bursts long
+// enough to swallow a token several times in a row.
+func (i *Injector) LossBursts(from time.Duration, count int, burst, gap time.Duration, p float64) {
+	at := from
+	for n := 0; n < count; n++ {
+		i.LossWindow(at, at+burst, p)
+		at += burst + gap
+	}
+}
+
+// IsolateWindow takes processor id off the air during [from, to) by downing
+// its endpoint only: protocol entities keep running and keep their volatile
+// state, as in a power-isolated-but-alive node. On wire orderers the
+// membership protocol expels the silent node and re-admits it after the
+// window.
+func (i *Injector) IsolateWindow(from, to time.Duration, id transport.NodeID) {
+	i.k.At(from, func() { i.net.Endpoint(id).SetDown(true) })
+	i.k.At(to, func() { i.net.Endpoint(id).SetDown(false) })
+}
+
+// StopAt schedules a protocol-level stop of id's registered entities at t,
+// leaving the endpoint up. Instant-orderer deployments use it for churn: the
+// hub models crash/recovery via Stop/Start, not via the (nonexistent)
+// network.
+func (i *Injector) StopAt(t time.Duration, id transport.NodeID) {
+	i.k.At(t, func() {
+		for _, s := range i.procs[id] {
+			s.Stop()
+		}
+	})
+}
+
+// StartAt schedules start at t; the campaign passes the deployment's restart
+// hook for id.
+func (i *Injector) StartAt(t time.Duration, start func()) {
+	if start == nil {
+		return
+	}
+	i.k.At(t, start)
+}

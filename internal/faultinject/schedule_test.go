@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"cts/internal/sim"
+	"cts/internal/simnet"
+	"cts/internal/transport"
+)
+
+func sendCounter(net *simnet.Network, id transport.NodeID) *int {
+	got := new(int)
+	net.Endpoint(id).SetReceiver(func(transport.NodeID, []byte) { *got++ })
+	return got
+}
+
+func TestAsymmetricPartitionWindow(t *testing.T) {
+	k := sim.NewKernel(6)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	at0 := sendCounter(net, 0)
+	at1 := sendCounter(net, 1)
+
+	inj.AsymmetricPartitionAt(time.Millisecond, 10*time.Millisecond,
+		[]transport.NodeID{0}, []transport.NodeID{1})
+	k.At(5*time.Millisecond, func() {
+		net.Endpoint(0).Send(1, []byte("cut"))
+		net.Endpoint(1).Send(0, []byte("open"))
+	})
+	k.At(12*time.Millisecond, func() { net.Endpoint(0).Send(1, []byte("healed")) })
+	k.RunUntil(15 * time.Millisecond)
+
+	if *at1 != 1 {
+		t.Fatalf("0→1 delivered %d, want 1 (post-heal only)", *at1)
+	}
+	if *at0 != 1 {
+		t.Fatalf("1→0 delivered %d, want 1 (reverse direction open)", *at0)
+	}
+}
+
+func TestPartialPartitionWindowKeepsThirdParty(t *testing.T) {
+	k := sim.NewKernel(7)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	at1 := sendCounter(net, 1)
+	at2 := sendCounter(net, 2)
+
+	inj.PartialPartitionAt(time.Millisecond, 10*time.Millisecond,
+		[]transport.NodeID{0}, []transport.NodeID{1})
+	k.At(5*time.Millisecond, func() {
+		net.Endpoint(0).Send(1, []byte("cut"))
+		net.Endpoint(0).Send(2, []byte("side"))
+	})
+	k.RunUntil(15 * time.Millisecond)
+
+	if *at1 != 0 {
+		t.Fatalf("cut pair delivered %d, want 0", *at1)
+	}
+	if *at2 != 1 {
+		t.Fatalf("third party delivered %d, want 1", *at2)
+	}
+}
+
+func TestShapeWindowLatency(t *testing.T) {
+	k := sim.NewKernel(8)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	var times []time.Duration
+	net.Endpoint(1).SetReceiver(func(transport.NodeID, []byte) {
+		times = append(times, k.Now())
+	})
+
+	inj.ShapeWindow(time.Millisecond, 10*time.Millisecond,
+		[]transport.NodeID{0}, []transport.NodeID{1},
+		simnet.LinkShape{Latency: simnet.Fixed(2 * time.Millisecond)})
+	k.At(5*time.Millisecond, func() { net.Endpoint(0).Send(1, []byte("slow")) })
+	k.At(12*time.Millisecond, func() { net.Endpoint(0).Send(1, []byte("fast")) })
+	k.RunUntil(20 * time.Millisecond)
+
+	if len(times) != 2 {
+		t.Fatalf("delivered %d datagrams, want 2", len(times))
+	}
+	if times[0] != 7*time.Millisecond {
+		t.Fatalf("shaped delivery at %v, want 7ms", times[0])
+	}
+	if times[1] != 12*time.Millisecond+time.Microsecond {
+		t.Fatalf("post-window delivery at %v, want 12.001ms", times[1])
+	}
+}
+
+func TestLossBursts(t *testing.T) {
+	k := sim.NewKernel(9)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	got := sendCounter(net, 1)
+
+	// Bursts at [1,2)ms and [3,4)ms with total loss.
+	inj.LossBursts(time.Millisecond, 2, time.Millisecond, time.Millisecond, 1.0)
+	for _, at := range []time.Duration{1500 * time.Microsecond, 2500 * time.Microsecond,
+		3500 * time.Microsecond, 4500 * time.Microsecond} {
+		at := at
+		k.At(at, func() { net.Endpoint(0).Send(1, []byte("x")) })
+	}
+	k.RunUntil(10 * time.Millisecond)
+
+	if *got != 2 {
+		t.Fatalf("delivered %d datagrams, want 2 (gaps only)", *got)
+	}
+}
+
+func TestIsolateWindowKeepsEntitiesRunning(t *testing.T) {
+	k := sim.NewKernel(10)
+	net := simnet.NewNetwork(k, simnet.Fixed(time.Microsecond))
+	inj := New(k, net)
+	rec := &stopRecorder{}
+	inj.Register(1, rec)
+	got := sendCounter(net, 1)
+
+	inj.IsolateWindow(time.Millisecond, 10*time.Millisecond, 1)
+	k.At(5*time.Millisecond, func() { net.Endpoint(0).Send(1, []byte("iso")) })
+	k.At(12*time.Millisecond, func() { net.Endpoint(0).Send(1, []byte("back")) })
+	k.RunUntil(15 * time.Millisecond)
+
+	if rec.stopped {
+		t.Fatal("isolation stopped protocol entities; it must not")
+	}
+	if *got != 1 {
+		t.Fatalf("delivered %d datagrams, want 1 (post-isolation only)", *got)
+	}
+}
+
+func TestStopAtAndStartAt(t *testing.T) {
+	k := sim.NewKernel(11)
+	net := simnet.NewNetwork(k, nil)
+	inj := New(k, net)
+	rec := &stopRecorder{}
+	inj.Register(0, rec)
+	started := false
+	inj.StopAt(time.Millisecond, 0)
+	inj.StartAt(2*time.Millisecond, func() { started = true })
+	k.RunUntil(3 * time.Millisecond)
+	if !rec.stopped || !started {
+		t.Fatalf("stopped=%v started=%v, want both", rec.stopped, started)
+	}
+}

@@ -111,6 +111,13 @@ type Stack struct {
 	membership map[wire.GroupID]map[transport.NodeID]bool
 	ordView    order.View
 	lastViews  map[wire.GroupID]GroupView
+	// emitQueued debounces view emission: announce deliveries and ordering
+	// view changes mark the tables dirty and post one deferred emission,
+	// so a wave of same-instant announces (every member re-announcing after
+	// a membership change) yields one view diff instead of one per
+	// announce. At campaign scale that is the difference between O(N²) and
+	// O(N³) work per membership change.
+	emitQueued bool
 
 	// viewWatchers receive every group view change, joined or not (used by
 	// clients tracking a server group).
@@ -360,7 +367,21 @@ func (s *Stack) onOrderView(v order.View) {
 		s.noteMember(id, s.me)
 	}
 	s.announceLocal()
-	s.emitChangedViews()
+	s.scheduleEmitViews()
+}
+
+// scheduleEmitViews posts one deferred emitChangedViews for the current
+// instant. Posts run at the same virtual time, after the event that queued
+// them, so by the time a Run call returns the views are always emitted.
+func (s *Stack) scheduleEmitViews() {
+	if s.emitQueued {
+		return
+	}
+	s.emitQueued = true
+	s.rt.Post(func() {
+		s.emitQueued = false
+		s.emitChangedViews()
+	})
 }
 
 func (s *Stack) noteMember(g wire.GroupID, p transport.NodeID) {
@@ -413,7 +434,7 @@ func (s *Stack) onDeliver(d order.Delivery) {
 		for g := range announced {
 			s.noteMember(g, d.Sender)
 		}
-		s.emitChangedViews()
+		s.scheduleEmitViews()
 	}
 }
 

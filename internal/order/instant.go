@@ -27,6 +27,20 @@ type InstantHub struct {
 	pending     []*instantPending
 	flushQueued bool
 	seen        map[uint64]bool
+	// active caches the sorted active membership. Rebuilding it on every
+	// delivery is O(N log N) per message, which dominates thousand-node
+	// campaigns; instead the cache is invalidated only when Start/Stop
+	// change membership. The slice is replaced, never mutated in place, so
+	// previously emitted views keep a consistent snapshot.
+	active      []transport.NodeID
+	activeDirty bool
+	// emitQueued coalesces view emission: a batch of Start/Stop calls
+	// landing in one instant (a campaign booting hundreds of nodes, a churn
+	// wave) produces one membership view instead of one per call. The
+	// activation itself is immediate — deliveries already include (or
+	// exclude) the toggled node — only the view callback is deferred to the
+	// end of the instant.
+	emitQueued bool
 }
 
 // NewInstantHub creates an empty hub. Nodes attach via New with
@@ -83,7 +97,8 @@ func (n *instantNode) Start() {
 			return
 		}
 		n.active = true
-		n.hub.emitViews()
+		n.hub.activeDirty = true
+		n.hub.scheduleEmit()
 	})
 }
 
@@ -95,7 +110,8 @@ func (n *instantNode) Stop() {
 			return
 		}
 		n.active = false
-		n.hub.emitViews()
+		n.hub.activeDirty = true
+		n.hub.scheduleEmit()
 	})
 }
 
@@ -189,6 +205,18 @@ func (h *InstantHub) deliverAll(p *instantPending) {
 	}
 }
 
+// scheduleEmit posts one deferred emitViews for the current instant.
+func (h *InstantHub) scheduleEmit() {
+	if h.emitQueued {
+		return
+	}
+	h.emitQueued = true
+	h.rt.Post(func() {
+		h.emitQueued = false
+		h.emitViews()
+	})
+}
+
 // emitViews advances the epoch and delivers the new view to every active
 // node. Any queued-but-unflushed broadcasts are flushed first, under the
 // old view, preserving view synchrony.
@@ -199,30 +227,36 @@ func (h *InstantHub) emitViews() {
 	if len(members) == 0 {
 		return
 	}
+	// One defensive copy shared by every receiver: downstream layers retain
+	// the view but never mutate Members, and the hub's own cache is replaced
+	// (not appended to) on the next membership change, so a single snapshot
+	// is safe and turns view emission from O(N²) into O(N).
 	view := View{
 		ID:      h.viewID(),
-		Members: members,
+		Members: append([]transport.NodeID(nil), members...),
 		Primary: len(members) >= h.quorum,
 	}
 	for _, id := range members {
 		n := h.nodes[id]
 		if n.env.OnView != nil {
-			v := view
-			v.Members = append([]transport.NodeID(nil), members...)
-			n.env.OnView(v)
+			n.env.OnView(view)
 		}
 	}
 }
 
 func (h *InstantHub) activeIDs() []transport.NodeID {
-	ids := make([]transport.NodeID, 0, len(h.nodes))
-	for id, n := range h.nodes {
-		if n.active {
-			ids = append(ids, id)
+	if h.activeDirty {
+		ids := make([]transport.NodeID, 0, len(h.nodes))
+		for id, n := range h.nodes {
+			if n.active {
+				ids = append(ids, id)
+			}
 		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		h.active = ids
+		h.activeDirty = false
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return h.active
 }
 
 func (h *InstantHub) viewID() ViewID {

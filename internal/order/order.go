@@ -174,15 +174,15 @@ func (e Env) validate(Kind) error {
 // TotemTuning is the protocol tuning of the Totem orderer. Zero values take
 // the totem package defaults (calibrated for the simulated 100 Mb/s testbed).
 type TotemTuning struct {
-	TokenLossTimeout    time.Duration
-	TokenRetransTimeout time.Duration
-	JoinTimeout         time.Duration
-	CommitTimeout       time.Duration
+	TokenLossTimeout    time.Duration `json:"token_loss_timeout_ns,omitempty"`
+	TokenRetransTimeout time.Duration `json:"token_retrans_timeout_ns,omitempty"`
+	JoinTimeout         time.Duration `json:"join_timeout_ns,omitempty"`
+	CommitTimeout       time.Duration `json:"commit_timeout_ns,omitempty"`
 	// AnnounceInterval is how often a ring's representative broadcasts a
 	// remerge beacon.
-	AnnounceInterval time.Duration
+	AnnounceInterval time.Duration `json:"announce_interval_ns,omitempty"`
 	// MaxMessagesPerToken bounds broadcasts per token visit (flow control).
-	MaxMessagesPerToken int
+	MaxMessagesPerToken int `json:"max_messages_per_token,omitempty"`
 }
 
 func (t TotemTuning) isZero() bool { return t == TotemTuning{} }
@@ -192,17 +192,17 @@ func (t TotemTuning) isZero() bool { return t == TotemTuning{} }
 type SeqTuning struct {
 	// HeartbeatInterval is how often the leader broadcasts a heartbeat
 	// carrying the high and safe sequence numbers.
-	HeartbeatInterval time.Duration
+	HeartbeatInterval time.Duration `json:"heartbeat_interval_ns,omitempty"`
 	// LeaderTimeout is how long a follower waits without leader traffic
 	// before suspecting the leader and starting an election; the leader
 	// applies the same bound to unresponsive followers before reforming the
 	// view without them.
-	LeaderTimeout time.Duration
+	LeaderTimeout time.Duration `json:"leader_timeout_ns,omitempty"`
 	// ResendInterval paces proposal retransmission and gap nacks.
-	ResendInterval time.Duration
+	ResendInterval time.Duration `json:"resend_interval_ns,omitempty"`
 	// ElectionTimeout is how long a candidate collects election acks before
 	// installing the new view.
-	ElectionTimeout time.Duration
+	ElectionTimeout time.Duration `json:"election_timeout_ns,omitempty"`
 }
 
 func (t SeqTuning) isZero() bool { return t == SeqTuning{} }

@@ -1,0 +1,109 @@
+package simnet
+
+import "cts/internal/transport"
+
+// Link shaping overrides delivery behavior on sets of directed links,
+// independently of the network-wide loss probability and component
+// partitions. Campaigns use it for WAN tiers, asymmetric links and partial
+// partitions: a rule names a set of sources and a set of destinations and
+// applies a LinkShape to every (src,dst) pair it covers. Rules are consulted
+// in installation order and the first match wins; the network-wide loss and
+// partition checks still apply afterwards. Rules are checked when a datagram
+// is sent, except that a fully blocked link (Loss ≥ 1) also drops in-flight
+// datagrams at delivery time, like a partition.
+
+// LinkShape describes the behavior of a shaped link.
+type LinkShape struct {
+	// Latency replaces the network's latency model on the link (nil keeps
+	// the default).
+	Latency LatencyModel
+	// Loss is the per-datagram drop probability on the link, in [0,1].
+	// Loss ≥ 1 blocks the link outright.
+	Loss float64
+}
+
+type linkRule struct {
+	id    uint64
+	from  map[transport.NodeID]bool // nil = any source
+	to    map[transport.NodeID]bool // nil = any destination
+	shape LinkShape
+}
+
+func (r *linkRule) matches(src, dst transport.NodeID) bool {
+	if r.from != nil && !r.from[src] {
+		return false
+	}
+	if r.to != nil && !r.to[dst] {
+		return false
+	}
+	return true
+}
+
+func nodeSet(ids []transport.NodeID) map[transport.NodeID]bool {
+	if ids == nil {
+		return nil
+	}
+	set := make(map[transport.NodeID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// ShapeLinks installs a directed shaping rule covering every (src,dst) pair
+// with src in from and dst in to. A nil slice means "every node". The
+// returned function uninstalls the rule.
+func (n *Network) ShapeLinks(from, to []transport.NodeID, shape LinkShape) (remove func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ruleSeq++
+	r := &linkRule{id: n.ruleSeq, from: nodeSet(from), to: nodeSet(to), shape: shape}
+	n.rules = append(n.rules, r)
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for i, got := range n.rules {
+			if got.id == r.id {
+				n.rules = append(n.rules[:i], n.rules[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// BlockLinks blocks the directed links from→to (asymmetric partition: traffic
+// in the reverse direction is unaffected). The returned function heals them.
+func (n *Network) BlockLinks(from, to []transport.NodeID) (heal func()) {
+	return n.ShapeLinks(from, to, LinkShape{Loss: 1})
+}
+
+// PartialPartition blocks traffic between sets a and b in both directions
+// while every other path (including third parties reaching both sides) stays
+// connected — unlike Partition, which splits the whole network into
+// components. The returned function heals the cut.
+func (n *Network) PartialPartition(a, b []transport.NodeID) (heal func()) {
+	ab := n.BlockLinks(a, b)
+	ba := n.BlockLinks(b, a)
+	return func() {
+		ab()
+		ba()
+	}
+}
+
+// matchRule returns the first installed rule covering (src,dst), or nil.
+// Caller holds n.mu.
+func (n *Network) matchRule(src, dst transport.NodeID) *linkRule {
+	for _, r := range n.rules {
+		if r.matches(src, dst) {
+			return r
+		}
+	}
+	return nil
+}
+
+// blocked reports whether (src,dst) is currently fully blocked by a rule.
+// Caller holds n.mu.
+func (n *Network) blocked(src, dst transport.NodeID) bool {
+	r := n.matchRule(src, dst)
+	return r != nil && r.shape.Loss >= 1
+}

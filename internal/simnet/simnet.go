@@ -51,6 +51,26 @@ func Fixed(d time.Duration) LatencyModel {
 	return func(*rand.Rand, transport.NodeID, transport.NodeID, int) time.Duration { return d }
 }
 
+// WAN returns a latency model shaped like an inter-region link: a fixed
+// propagation base, the same 100 Mb/s per-byte cost as Ethernet, an
+// exponential jitter tail of mean base/10, and occasional congestion spikes
+// adding up to 4× base. Campaign WAN profiles use it with bases of tens of
+// milliseconds.
+func WAN(base time.Duration) LatencyModel {
+	const perByte = 80 * time.Nanosecond
+	if base <= 0 {
+		base = 30 * time.Millisecond
+	}
+	return func(rng *rand.Rand, _, _ transport.NodeID, size int) time.Duration {
+		d := base + time.Duration(size)*perByte +
+			time.Duration(rng.ExpFloat64()*float64(base)/10)
+		if rng.Float64() < 0.01 {
+			d += time.Duration(rng.Float64() * 4 * float64(base))
+		}
+		return d
+	}
+}
+
 // Network is the simulated fabric connecting endpoints.
 // All methods are intended to be called from kernel event callbacks or
 // before the simulation starts.
@@ -66,6 +86,11 @@ type Network struct {
 	// lastArrival enforces FIFO per (src,dst) link: datagrams sent
 	// back-to-back on one path do not reorder, as on a switched LAN.
 	lastArrival map[linkKey]time.Duration
+
+	// rules are the installed link-shaping rules, consulted in order
+	// (see shaping.go).
+	rules   []*linkRule
+	ruleSeq uint64
 
 	// Counters for experiment reporting.
 	sent      map[transport.NodeID]uint64
@@ -170,13 +195,30 @@ func (n *Network) Stats() (sent, delivered map[transport.NodeID]uint64, dropped 
 func (n *Network) send(src, dst transport.NodeID, payload []byte) {
 	n.mu.Lock()
 	ep, ok := n.endpoints[dst]
-	if !ok || ep.down || !n.connected(src, dst) || (n.loss > 0 && n.k.RNG().Float64() < n.loss) {
+	if !ok || ep.down || !n.connected(src, dst) {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	model := n.latency
+	if r := n.matchRule(src, dst); r != nil {
+		if r.shape.Loss >= 1 ||
+			(r.shape.Loss > 0 && n.k.RNG().Float64() < r.shape.Loss) {
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		if r.shape.Latency != nil {
+			model = r.shape.Latency
+		}
+	}
+	if n.loss > 0 && n.k.RNG().Float64() < n.loss {
 		n.dropped++
 		n.mu.Unlock()
 		return
 	}
 	n.sent[src]++
-	delay := n.latency(n.k.RNG(), src, dst, len(payload))
+	delay := model(n.k.RNG(), src, dst, len(payload))
 	// FIFO per link: a datagram never overtakes an earlier one on the same
 	// (src,dst) path.
 	key := linkKey{src: src, dst: dst}
@@ -194,7 +236,7 @@ func (n *Network) send(src, dst transport.NodeID, payload []byte) {
 	n.k.After(delay, func() {
 		n.mu.Lock()
 		ep, ok := n.endpoints[dst]
-		if !ok || ep.down || !n.connected(src, dst) {
+		if !ok || ep.down || !n.connected(src, dst) || n.blocked(src, dst) {
 			n.dropped++
 			n.mu.Unlock()
 			return
