@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	ctslint [-root dir] [-allow file] [-rules csv|all] [-v]
+//	ctslint [-root dir] [-allow file] [-rules csv|all] [-json] [-v]
+//
+// -json emits surviving findings as JSONL on stdout (schema: internal/lint
+// jsonFinding, pinned by test) with stale-baseline diagnostics on stderr, so
+// CI and tooling can consume findings mechanically. -v adds per-rule wall
+// time and finding counts.
 //
 // Exit status: 0 clean, 1 findings or stale baseline entries, 2 usage or
 // load errors.
@@ -30,7 +35,8 @@ func run() int {
 	root := flag.String("root", ".", "module root to analyze")
 	allow := flag.String("allow", "", "baseline file (default <root>/lint.allow)")
 	rules := flag.String("rules", "all", "comma-separated rule subset: "+strings.Join(lint.AllRules, ","))
-	verbose := flag.Bool("v", false, "report analyzed package and suppression counts")
+	jsonOut := flag.Bool("json", false, "emit findings as JSONL on stdout (stale entries go to stderr)")
+	verbose := flag.Bool("v", false, "report per-rule timings plus package and suppression counts")
 	flag.Parse()
 
 	cfg := lint.DefaultConfig()
@@ -73,8 +79,24 @@ func run() int {
 		return 2
 	}
 
-	findings := lint.Run(pkgs, cfg)
+	findings, stats := lint.RunStats(pkgs, cfg)
 	kept, stale := baseline.Filter(findings, absRoot)
+
+	if *jsonOut {
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		if err := lint.WriteJSON(out, kept, absRoot); err != nil {
+			fmt.Fprintf(os.Stderr, "ctslint: %v\n", err)
+			return 2
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "%s:%d: stale allow entry matches nothing: %s\n", allowPath, e.Line, e)
+		}
+		if len(kept) > 0 || len(stale) > 0 {
+			return 1
+		}
+		return 0
+	}
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -89,6 +111,10 @@ func run() int {
 		fmt.Fprintf(out, "%s:%d: stale allow entry matches nothing: %s\n", allowPath, e.Line, e)
 	}
 	if *verbose {
+		for _, s := range stats {
+			fmt.Fprintf(out, "ctslint: rule %-10s %8.2fms %d finding(s)\n",
+				s.Rule, float64(s.Duration.Microseconds())/1000, s.Findings)
+		}
 		fmt.Fprintf(out, "ctslint: %d package(s), %d finding(s), %d baselined, %d stale\n",
 			len(pkgs), len(findings), len(findings)-len(kept), len(stale))
 	}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cts/internal/replication"
+	"cts/internal/testutil"
+)
+
+// TestLeaseReadAllocFree gates LeaseRead at its measured allocation count —
+// zero — as the dynamic counterpart of the static allocfree annotation on
+// it. Every timeserve query performs exactly one LeaseRead; an allocation
+// here multiplies by the serving rate.
+func TestLeaseReadAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocs/op is perturbed by race-detector instrumentation")
+	}
+	h, client := standardSetup(t, 31, replication.Active)
+	enableLeases(h, LeaseConfig{Window: time.Hour})
+	driveReads(t, h, client, 5)
+
+	svc := h.svcs[1]
+	if _, ok := svc.LeaseRead(); !ok {
+		t.Fatal("no lease held after CCS rounds")
+	}
+	var ok bool
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, ok = svc.LeaseRead()
+	})
+	if !ok {
+		t.Fatal("lease lapsed mid-measurement")
+	}
+	if allocs != 0 {
+		t.Fatalf("LeaseRead allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -216,6 +216,8 @@ func (s *TimeService) noteOrderingLag(lag time.Duration) {
 // uncompensated modes' adoption bias. Reads of one replica never regress:
 // a shared floor is advanced with CAS, and a read clamped up to the floor
 // widens its bound by the clamp distance so it still covers true time.
+//
+//cts:allocfree
 func (s *TimeService) LeaseRead() (LeaseReading, bool) {
 	snap := s.lease.snap.Load()
 	if snap == nil {

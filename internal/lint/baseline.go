@@ -51,8 +51,13 @@ func LoadBaseline(path string) (*Baseline, error) {
 	return ParseBaseline(f, path)
 }
 
+// minReasonLen rejects throwaway justifications ("why", "ok"): an exception
+// that cannot be explained in ten characters has not been reviewed.
+const minReasonLen = 10
+
 // ParseBaseline parses lint.allow content. Blank lines and #-comment lines
-// are skipped; every entry must carry a non-empty `# justification`.
+// are skipped; every entry must carry a `# justification` of at least
+// minReasonLen characters.
 func ParseBaseline(r io.Reader, name string) (*Baseline, error) {
 	b := &Baseline{}
 	sc := bufio.NewScanner(r)
@@ -71,6 +76,10 @@ func ParseBaseline(r io.Reader, name string) (*Baseline, error) {
 		fields := strings.Fields(body)
 		if len(fields) != 3 {
 			return nil, fmt.Errorf("%s:%d: want `rule file scope # reason`, got %d fields", name, ln, len(fields))
+		}
+		if len(reason) < minReasonLen {
+			return nil, fmt.Errorf("%s:%d: justification %q is too short (< %d chars); explain why the exception is safe",
+				name, ln, reason, minReasonLen)
 		}
 		rule := fields[0]
 		known := false

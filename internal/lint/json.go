@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonFinding is the machine-readable finding schema, one JSON object per
+// line (JSONL). The field set and names are pinned by TestJSONSchema —
+// changing them is a breaking change for CI consumers.
+type jsonFinding struct {
+	Rule  string   `json:"rule"`
+	File  string   `json:"file"` // root-relative, forward slashes
+	Line  int      `json:"line"`
+	Col   int      `json:"col"`
+	Scope string   `json:"scope"`
+	Msg   string   `json:"msg"`
+	Chain []string `json:"chain,omitempty"` // interprocedural call chain, root first
+}
+
+// WriteJSON emits findings as JSONL to w. File paths are made relative to
+// root (when possible) and slash-normalized so output is stable across
+// checkouts and platforms.
+func WriteJSON(w io.Writer, findings []Finding, root string) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = rel
+			}
+		}
+		jf := jsonFinding{
+			Rule:  f.Rule,
+			File:  filepath.ToSlash(file),
+			Line:  f.Pos.Line,
+			Col:   f.Pos.Column,
+			Scope: f.Scope,
+			Msg:   f.Msg,
+			Chain: f.Chain,
+		}
+		if err := enc.Encode(jf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,11 @@
 //
 // Rules (each independently toggleable, see DESIGN.md §8 for rationale):
 //
+//   - allocfree: functions annotated `//cts:allocfree` (the timeserve serve
+//     path, core.LeaseRead) must reach no allocating construct through any
+//     call chain — interprocedural, built on the callgraph.go substrate.
+//   - lockorder: mutex-acquisition order cycles and blocking-operation/
+//     Broadcast-while-locked hazards across the whole call graph.
 //   - notime: direct time.Now/Sleep/After/... calls are banned outside the
 //     clock abstraction packages (internal/hwclock, internal/timesource,
 //     internal/sim, internal/testutil) and _test.go files.
@@ -32,10 +37,13 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
+
+	"cts/internal/hwclock"
 )
 
 // AllRules lists every rule name, in report order.
-var AllRules = []string{"atomicmix", "errdrop", "maporder", "nolockio", "notime"}
+var AllRules = []string{"allocfree", "atomicmix", "errdrop", "lockorder", "maporder", "nolockio", "notime"}
 
 // Finding is one rule violation.
 type Finding struct {
@@ -47,6 +55,9 @@ type Finding struct {
 	// exceptions survive unrelated line drift.
 	Scope string
 	Msg   string
+	// Chain is the interprocedural call chain (root first) for findings from
+	// graph-based rules; nil for single-function rules.
+	Chain []string
 }
 
 func (f Finding) String() string {
@@ -70,6 +81,34 @@ type Config struct {
 	// must not let map iteration order reach them.
 	OrderedImports     []string
 	OrderedPkgSuffixes []string
+
+	// AllocfreeAssume is the reviewed list of unanalyzable (stdlib/dynamic)
+	// calls allocfree trusts not to allocate. Entries: exact rendered call
+	// ("time.Now"), "pkg.Recv." prefix wildcard ("atomic."), or a bare
+	// method name matched against any receiver ("Load").
+	AllocfreeAssume []string
+
+	// AllocfreeConvFree lists stdlib value-type conversions that are free
+	// ("time.Duration"); with synthetic stdlib types the checker cannot see
+	// for itself that they are numeric.
+	AllocfreeConvFree []string
+
+	// AllocfreeRequire pins functions that must exist and carry the
+	// //cts:allocfree annotation whenever their package is analyzed, so the
+	// hot-path contract cannot silently vanish in a refactor.
+	AllocfreeRequire []RequiredRoot
+
+	// DispatchBound caps interface-dispatch fan-out in the call graph;
+	// beyond it a call is treated as unknown code. 0 means the default (12).
+	DispatchBound int
+}
+
+// RequiredRoot names one mandatory //cts:allocfree root: the function Func
+// ("Type.Method" or "Func") in the package whose import path ends in
+// PkgSuffix.
+type RequiredRoot struct {
+	PkgSuffix string
+	Func      string
 }
 
 // DefaultConfig returns the project rule parameters.
@@ -91,6 +130,41 @@ func DefaultConfig() Config {
 			"internal/timeserve",
 			"internal/transport",
 		},
+		AllocfreeAssume: []string{
+			// Exact stdlib calls the hot path is allowed to make.
+			"time.Now",
+			"errors.Is",
+			// Prefix wildcards: the whole binary.BigEndian/LittleEndian put/
+			// get families and every sync/atomic entry point are value-level.
+			"binary.BigEndian.",
+			"binary.LittleEndian.",
+			"atomic.",
+			// Bare method names: receivers are synthetic stdlib types
+			// (atomic.Pointer fields, net.PacketConn, time.Time) the checker
+			// cannot resolve. All reviewed as non-allocating.
+			"Load",
+			"Store",
+			"Add",
+			"Swap",
+			"CompareAndSwap",
+			"ReadFrom",
+			"WriteTo",
+			"ReadFromUDP",
+			"WriteToUDP",
+			"UnixNano",
+			"Nanoseconds",
+			"Seconds",
+			"Milliseconds",
+			"Microseconds",
+			"Done",
+		},
+		AllocfreeConvFree: []string{
+			"time.Duration",
+		},
+		AllocfreeRequire: []RequiredRoot{
+			{PkgSuffix: "internal/timeserve", Func: "Server.serveLoop"},
+			{PkgSuffix: "internal/core", Func: "TimeService.LeaseRead"},
+		},
 	}
 }
 
@@ -103,24 +177,60 @@ func (c Config) enabled(rule string) bool {
 
 // Run analyzes pkgs under cfg and returns findings sorted by position.
 func Run(pkgs []*Package, cfg Config) []Finding {
-	var out []Finding
-	for _, p := range pkgs {
-		if cfg.enabled("notime") {
-			out = append(out, checkNotime(p, cfg)...)
+	out, _ := RunStats(pkgs, cfg)
+	return out
+}
+
+// RuleStat is one rule's share of a RunStats invocation, for `ctslint -v`.
+type RuleStat struct {
+	Rule     string
+	Duration time.Duration
+	Findings int
+}
+
+// RunStats is Run plus per-rule wall time. The interprocedural rules
+// (allocfree, lockorder) share one lazily built call graph: the graph is
+// constructed at most once per invocation, and not at all when neither rule
+// is enabled — adding the graph-based passes must not double lint wall time
+// over the already-loaded package set.
+func RunStats(pkgs []*Package, cfg Config) ([]Finding, []RuleStat) {
+	var (
+		out   []Finding
+		stats []RuleStat
+		g     *Graph
+	)
+	graph := func() *Graph {
+		if g == nil {
+			g = BuildGraph(pkgs, cfg)
 		}
-		if cfg.enabled("nolockio") {
-			out = append(out, checkNolockio(p)...)
+		return g
+	}
+	mono := hwclock.Monotonic()
+	run := func(rule string, fn func() []Finding) {
+		if !cfg.enabled(rule) {
+			return
 		}
-		if cfg.enabled("maporder") {
-			out = append(out, checkMaporder(p, cfg)...)
-		}
-		if cfg.enabled("atomicmix") {
-			out = append(out, checkAtomicmix(p)...)
-		}
-		if cfg.enabled("errdrop") {
-			out = append(out, checkErrdrop(p)...)
+		start := mono()
+		fs := fn()
+		stats = append(stats, RuleStat{Rule: rule, Duration: mono() - start, Findings: len(fs)})
+		out = append(out, fs...)
+	}
+	eachPkg := func(fn func(p *Package) []Finding) func() []Finding {
+		return func() []Finding {
+			var fs []Finding
+			for _, p := range pkgs {
+				fs = append(fs, fn(p)...)
+			}
+			return fs
 		}
 	}
+	run("allocfree", func() []Finding { return checkAllocfree(graph()) })
+	run("atomicmix", eachPkg(checkAtomicmix))
+	run("errdrop", eachPkg(checkErrdrop))
+	run("lockorder", func() []Finding { return checkLockorder(graph()) })
+	run("maporder", eachPkg(func(p *Package) []Finding { return checkMaporder(p, cfg) }))
+	run("nolockio", eachPkg(checkNolockio))
+	run("notime", eachPkg(func(p *Package) []Finding { return checkNotime(p, cfg) }))
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -134,7 +244,7 @@ func Run(pkgs []*Package, cfg Config) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
+	return out, stats
 }
 
 // finding builds a Finding at node, deriving the enclosing scope.

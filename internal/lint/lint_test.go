@@ -168,7 +168,8 @@ func TestParseBaselineErrors(t *testing.T) {
 		{"missing justification", "notime foo.go Bar\n", "lacks a `# justification`"},
 		{"empty justification", "notime foo.go Bar #   \n", "lacks a `# justification`"},
 		{"wrong field count", "notime foo.go # why\n", "got 2 fields"},
-		{"unknown rule", "bogus foo.go Bar # why\n", `unknown rule "bogus"`},
+		{"short justification", "notime foo.go Bar # why\n", "too short"},
+		{"unknown rule", "bogus foo.go Bar # a plausible-length reason\n", `unknown rule "bogus"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

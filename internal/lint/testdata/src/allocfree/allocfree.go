@@ -1,0 +1,125 @@
+// Package allocfree exercises every reporting shape of the allocfree rule:
+// chained findings through the call graph, each direct allocating construct,
+// interface dispatch to an allocating implementation, unknown stdlib and
+// dynamic calls, and the negatives (unannotated functions, assumed calls).
+package allocfree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// --- chain: the allocation three frames below the root is reported at its
+// site with the full call chain from the root.
+
+//cts:allocfree
+func Root() {
+	mid()
+}
+
+func mid() {
+	helper()
+}
+
+func helper() {
+	_ = make([]byte, 8) // want: allocfree make allocates on allocfree path (chain: allocfree.Root → allocfree.mid → allocfree.helper)
+}
+
+// --- direct constructs inside an annotated function.
+
+//cts:allocfree
+func Direct(m map[string]int, s string, bs []byte) string {
+	p := new(int) // want: allocfree new allocates
+	_ = p
+	bs = append(bs, 1) // want: allocfree append may grow its backing array
+	m["k"] = 1         // want: allocfree map write may allocate
+	s2 := s + "!"      // want: allocfree string concatenation allocates
+	_ = []byte(s)      // want: allocfree conversion from string to slice allocates
+	_ = string(bs)     // want: allocfree conversion to string allocates
+	f := func() {}     // want: allocfree function literal allocates a closure
+	_ = f
+	return s2
+}
+
+//cts:allocfree
+func Lits() {
+	_ = []int{1, 2} // want: allocfree slice literal allocates
+}
+
+type box struct{ a, b int }
+
+//cts:allocfree
+func Escape() *box {
+	return &box{} // want: allocfree &composite literal escapes to the heap
+}
+
+//cts:allocfree
+func Spawn() {
+	go idle() // want: allocfree go statement allocates a goroutine
+}
+
+func idle() {}
+
+type val struct{ v int }
+
+func (x val) value() int { return x.v }
+
+//cts:allocfree
+func Bind(x val) func() int {
+	return x.value // want: allocfree method value allocates its bound receiver
+}
+
+// --- variadic call: one finding for the argument slice, one for boxing the
+// concrete argument into the `any` parameter.
+
+func sink(vals ...any) int { return len(vals) }
+
+//cts:allocfree
+func Variadic() int {
+	return sink(7) // want: allocfree variadic call allocates its argument slice ; allocfree interface boxing of argument
+}
+
+// --- unknown code: stdlib bodies are invisible, dynamic calls unresolvable.
+
+//cts:allocfree
+func Stdlib() {
+	_ = fmt.Sprintln("x") // want: allocfree call into unanalyzed fmt.Sprintln (assumed to allocate)
+}
+
+//cts:allocfree
+func Dyn(f func() int) int {
+	return f() // want: allocfree dynamic call of f
+}
+
+// --- interface dispatch: the call fans out to every module implementation;
+// the allocating one is reported with the dispatch step in the chain, the
+// clean one stays silent.
+
+type source interface{ value() int }
+
+type fixed struct{ v int }
+
+func (f fixed) value() int { return f.v }
+
+type fresh struct{}
+
+func (fresh) value() int {
+	return len(make([]byte, 4)) // want: allocfree make allocates on allocfree path (chain: allocfree.Dispatch → allocfree.fresh.value)
+}
+
+//cts:allocfree
+func Dispatch(s source) int {
+	return s.value()
+}
+
+// --- negatives: allocations outside any root are not this rule's business,
+// and reviewed stdlib calls (assume list, value conversions) pass.
+
+func NotRoot() []byte {
+	return make([]byte, 1)
+}
+
+//cts:allocfree
+func Clean(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b)
+}

@@ -47,3 +47,24 @@ func (t *thing) mixed() uint64 {
 func (t *thing) drop() {
 	t.Multicast(nil) // suppressed by corpus.allow
 }
+
+//cts:allocfree
+func hot() []byte {
+	return make([]byte, 8) // suppressed by corpus.allow
+}
+
+type duo struct{ x, y sync.Mutex }
+
+func (d *duo) xy() {
+	d.x.Lock()
+	d.y.Lock() // suppressed by corpus.allow (cycle witness with yx)
+	d.y.Unlock()
+	d.x.Unlock()
+}
+
+func (d *duo) yx() {
+	d.y.Lock()
+	d.x.Lock()
+	d.x.Unlock()
+	d.y.Unlock()
+}

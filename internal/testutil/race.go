@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-count regression tests skip under race: the detector's
+// instrumentation changes allocs/op and would gate on noise.
+const RaceEnabled = true

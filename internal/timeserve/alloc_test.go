@@ -1,0 +1,42 @@
+package timeserve
+
+import (
+	"testing"
+
+	"cts/internal/testutil"
+)
+
+// TestCodecAllocFree is the dynamic counterpart of ctslint's static
+// allocfree rule: the fixed-offset codec the serve loop runs per query must
+// do zero allocations per operation. The static rule proves no allocating
+// construct is reachable; this gates the measured number so the two can
+// never drift apart silently.
+func TestCodecAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocs/op is perturbed by race-detector instrumentation")
+	}
+	var reqBuf [ReqSize]byte
+	var respBuf [RespSize]byte
+	q := Request{Flags: 1, Nonce: 0xdead, Echo: 0xbeef}
+	r := Response{Flags: FlagOK, Node: 4, Nonce: 0xdead, Echo: 0xbeef,
+		Group: 5, Bound: 6, Epoch: 7}
+
+	var gotQ Request
+	var gotR Response
+	var errQ, errR error
+	allocs := testing.AllocsPerRun(1000, func() {
+		PutRequest(reqBuf[:], q)
+		gotQ, errQ = ParseRequest(reqBuf[:])
+		PutResponse(respBuf[:], r)
+		gotR, errR = ParseResponse(respBuf[:])
+	})
+	if errQ != nil || errR != nil {
+		t.Fatalf("roundtrip errors: %v / %v", errQ, errR)
+	}
+	if gotQ != q || gotR != r {
+		t.Fatalf("roundtrip mismatch: %+v != %+v or %+v != %+v", gotQ, q, gotR, r)
+	}
+	if allocs != 0 {
+		t.Fatalf("codec allocates %.1f allocs/op, want 0", allocs)
+	}
+}

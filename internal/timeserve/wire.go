@@ -86,18 +86,30 @@ var (
 	ErrVersion = errors.New("timeserve: unsupported version")
 )
 
-// AppendRequest appends q's encoding to buf.
-func AppendRequest(buf []byte, q Request) []byte {
-	var b [ReqSize]byte
+// PutRequest encodes q into b, which must hold at least ReqSize bytes.
+// It is the zero-allocation encoder the batched client path writes through.
+//
+//cts:allocfree
+func PutRequest(b []byte, q Request) {
+	_ = b[ReqSize-1]
 	binary.BigEndian.PutUint16(b[0:], Magic)
 	b[2] = Version
 	b[3] = q.Flags
+	binary.BigEndian.PutUint32(b[4:], 0)
 	binary.BigEndian.PutUint64(b[8:], q.Nonce)
 	binary.BigEndian.PutUint64(b[16:], q.Echo)
+}
+
+// AppendRequest appends q's encoding to buf.
+func AppendRequest(buf []byte, q Request) []byte {
+	var b [ReqSize]byte
+	PutRequest(b[:], q)
 	return append(buf, b[:]...)
 }
 
 // ParseRequest decodes one request from the front of b.
+//
+//cts:allocfree
 func ParseRequest(b []byte) (Request, error) {
 	if len(b) < ReqSize {
 		return Request{}, ErrShort
@@ -115,9 +127,13 @@ func ParseRequest(b []byte) (Request, error) {
 	}, nil
 }
 
-// AppendResponse appends r's encoding to buf.
-func AppendResponse(buf []byte, r Response) []byte {
-	var b [RespSize]byte
+// PutResponse encodes r into b, which must hold at least RespSize bytes.
+// The serve loop writes responses through this into a pre-grown reply
+// buffer, so steady-state serving never touches the allocator.
+//
+//cts:allocfree
+func PutResponse(b []byte, r Response) {
+	_ = b[RespSize-1]
 	binary.BigEndian.PutUint16(b[0:], Magic)
 	b[2] = Version
 	b[3] = r.Flags
@@ -127,10 +143,18 @@ func AppendResponse(buf []byte, r Response) []byte {
 	binary.BigEndian.PutUint64(b[24:], uint64(r.Group))
 	binary.BigEndian.PutUint64(b[32:], uint64(r.Bound))
 	binary.BigEndian.PutUint64(b[40:], r.Epoch)
+}
+
+// AppendResponse appends r's encoding to buf.
+func AppendResponse(buf []byte, r Response) []byte {
+	var b [RespSize]byte
+	PutResponse(b[:], r)
 	return append(buf, b[:]...)
 }
 
 // ParseResponse decodes one response from the front of b.
+//
+//cts:allocfree
 func ParseResponse(b []byte) (Response, error) {
 	if len(b) < RespSize {
 		return Response{}, ErrShort
