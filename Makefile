@@ -45,11 +45,16 @@ bench:
 bench-concurrent:
 	$(GO) run ./cmd/ctsbench -exp fig5concurrent -jsonConcurrent BENCH_fig5_concurrent.json
 
-# loadtest smokes the external time-serving plane: a race-enabled in-process
-# three-replica group must sustain 100k queries/s with zero staleness-bound
-# violations and zero group-clock regressions. Writes BENCH_timeserve.json.
+# loadtest smokes the external time-serving plane twice. The race-enabled
+# run checks the lease invariants (staleness bound, per-replica monotonicity)
+# under the race detector with a 100k queries/s floor. The plain run drives
+# the batched recvmmsg/sendmmsg path with 8-datagram client bursts and gates
+# the hot-path regressions: ≥600k queries/s, ≤0.25 server syscalls per
+# query, zero allocations per batched serve cycle. Writes the headline
+# BENCH_timeserve.json (plain, batched) and BENCH_timeserve_race.json.
 loadtest:
-	$(GO) run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve.json
+	$(GO) run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve_race.json
+	$(GO) run ./cmd/ctsload -inprocess -duration 5s -dgrams 8 -min-qps 600000 -max-syscalls-per-query 0.25 -max-allocs-per-op 0 -json BENCH_timeserve.json
 
 # campaign-smoke runs two 100-node campaign cells (churn + drift outliers);
 # each self-gates on zero group-clock regressions, zero staleness-bound

@@ -43,8 +43,19 @@ echo "== ctsbench fig5concurrent (BENCH_fig5_concurrent.json) =="
 # their mean per-read overhead is at most half the single-reader overhead.
 go run ./cmd/ctsbench -exp fig5concurrent -jsonConcurrent BENCH_fig5_concurrent.json
 
-echo "== ctsload smoke (BENCH_timeserve.json) =="
-go run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve.json
+echo "== ctsload smoke: lease invariants under race (BENCH_timeserve_race.json) =="
+go run -race ./cmd/ctsload -inprocess -duration 5s -min-qps 100000 -json BENCH_timeserve_race.json
+
+echo "== ctsload batched kernel I/O (BENCH_timeserve.json) =="
+# Plain-mode run over the recvmmsg/sendmmsg path with 8-datagram bursts;
+# gates throughput, server syscalls per query, and allocations per batched
+# serve cycle.
+go run ./cmd/ctsload -inprocess -duration 5s -dgrams 8 -min-qps 600000 -max-syscalls-per-query 0.25 -max-allocs-per-op 0 -json BENCH_timeserve.json
+
+echo "== ctsload forced-sequential fallback (-serve-io seq) =="
+# Batching force-disabled end to end: the sequential path must still hold
+# the invariants and meaningful throughput.
+go run ./cmd/ctsload -inprocess -duration 2s -dgrams 4 -serve-io seq -min-qps 100000 -json ""
 
 echo "== ctscampaign smoke (BENCH_campaign_smoke.json) =="
 # Two 100-node campaign cells, each self-gating on zero group-clock

@@ -38,6 +38,7 @@ import (
 
 	"cts"
 	"cts/internal/stats"
+	"cts/internal/testutil"
 	"cts/internal/timeserve"
 	"cts/internal/transport"
 	"cts/internal/udptransport"
@@ -56,8 +57,12 @@ func main() {
 		rate      = flag.Float64("rate", 50000, "total target queries/s for -mode open")
 		workers   = flag.Int("workers", 4, "concurrent load workers")
 		batch     = flag.Int("batch", 8, "queries per datagram (1..64)")
+		dgrams    = flag.Int("dgrams", 1, "datagrams per burst exchange (1..64; >1 drives the batched kernel I/O path)")
+		serveIO   = flag.String("serve-io", "auto", "kernel I/O path for -inprocess replicas and burst clients: auto|seq|mmsg")
 		duration  = flag.Duration("duration", 5*time.Second, "measurement duration")
 		minQPS    = flag.Float64("min-qps", 0, "fail unless sustained queries/s reaches this (0 disables)")
+		maxSPQ    = flag.Float64("max-syscalls-per-query", 0, "fail if server-side syscalls per query exceed this (0 disables; needs -inprocess)")
+		maxAllocs = flag.Float64("max-allocs-per-op", -1, "fail if the batched serve cycle allocates more than this per op (-1 disables)")
 		jsonOut   = flag.String("json", "BENCH_timeserve.json", "write machine-readable results here (empty disables)")
 		seed      = flag.Int64("seed", 2003, "run label recorded in the result JSON (the live loop has no simulation RNG)")
 	)
@@ -65,8 +70,9 @@ func main() {
 	if err := run(config{
 		targets: *targets, inprocess: *inprocess, replicas: *replicas,
 		shards: *shards, lease: *lease, mode: *mode, rate: *rate,
-		workers: *workers, batch: *batch, duration: *duration,
-		minQPS: *minQPS, jsonOut: *jsonOut, seed: *seed,
+		workers: *workers, batch: *batch, dgrams: *dgrams, serveIO: *serveIO,
+		duration: *duration, minQPS: *minQPS, maxSPQ: *maxSPQ,
+		maxAllocs: *maxAllocs, jsonOut: *jsonOut, seed: *seed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsload:", err)
 		os.Exit(1)
@@ -83,8 +89,12 @@ type config struct {
 	rate      float64
 	workers   int
 	batch     int
+	dgrams    int
+	serveIO   string
 	duration  time.Duration
 	minQPS    float64
+	maxSPQ    float64
+	maxAllocs float64
 	jsonOut   string
 	seed      int64
 }
@@ -200,17 +210,31 @@ func (c *checker) onResponse(r timeserve.Response, pre *snapshot) {
 // result is the machine-readable run record. Scenario and Seed identify
 // the row across bench files (every BENCH_*.json row carries both).
 type result struct {
-	Scenario   string  `json:"scenario"`
-	Seed       int64   `json:"seed"`
-	Mode       string  `json:"mode"`
-	Targets    int     `json:"targets"`
-	Workers    int     `json:"workers"`
-	Batch      int     `json:"batch"`
-	DurationS  float64 `json:"duration_s"`
-	Queries    uint64  `json:"queries"`
-	QPS        float64 `json:"qps"`
-	Errors     uint64  `json:"errors"`
-	Violations struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Mode     string `json:"mode"`
+	Targets  int    `json:"targets"`
+	Workers  int    `json:"workers"`
+	Batch    int    `json:"batch"`
+	Dgrams   int    `json:"dgrams"`
+	// BatchMode names the kernel I/O path the run actually exercised:
+	// "mmsg" when every in-process replica (and, for multi-datagram bursts,
+	// every client) stayed on the batched recvmmsg/sendmmsg cycle, "seq"
+	// otherwise.
+	BatchMode string  `json:"batch_mode"`
+	DurationS float64 `json:"duration_s"`
+	Queries   uint64  `json:"queries"`
+	QPS       float64 `json:"qps"`
+	Errors    uint64  `json:"errors"`
+	// SyscallsPerQuery is the server-side kernel I/O operations per served
+	// query across the in-process replicas (-1 when the servers are remote
+	// and the counters unreachable).
+	SyscallsPerQuery float64 `json:"syscalls_per_query"`
+	// AllocsPerOp is the measured heap allocations per batched
+	// drain-serve cycle (-1 when the build lacks the batched path or the
+	// race detector perturbs the measurement).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Violations  struct {
 		Staleness  uint64 `json:"staleness"`
 		Regression uint64 `json:"regression"`
 	} `json:"violations"`
@@ -225,17 +249,28 @@ func run(cfg config) error {
 	if cfg.batch < 1 || cfg.batch > timeserve.MaxBatch {
 		return fmt.Errorf("-batch %d outside [1, %d]", cfg.batch, timeserve.MaxBatch)
 	}
+	if cfg.dgrams < 1 || cfg.dgrams > timeserve.MaxBurst {
+		return fmt.Errorf("-dgrams %d outside [1, %d]", cfg.dgrams, timeserve.MaxBurst)
+	}
+	ioMode, err := timeserve.ParseIOMode(cfg.serveIO)
+	if err != nil {
+		return err
+	}
 	if cfg.mode != "closed" && cfg.mode != "open" {
 		return fmt.Errorf("unknown -mode %q (want closed or open)", cfg.mode)
 	}
+	if cfg.maxSPQ > 0 && !cfg.inprocess {
+		return fmt.Errorf("-max-syscalls-per-query needs -inprocess (remote server counters are unreachable)")
+	}
 	var targets []string
+	var grp *group
 	if cfg.inprocess {
-		group, err := startGroup(cfg.replicas, cfg.shards, cfg.lease)
+		grp, err = startGroup(cfg.replicas, cfg.shards, cfg.lease, cfg.serveIO)
 		if err != nil {
 			return err
 		}
-		defer group.stop()
-		targets = group.targets
+		defer grp.stop()
+		targets = grp.targets
 	} else {
 		if cfg.targets == "" {
 			return fmt.Errorf("-targets or -inprocess is required")
@@ -243,25 +278,32 @@ func run(cfg config) error {
 		targets = strings.Split(cfg.targets, ",")
 	}
 
-	fmt.Printf("ctsload: %s loop, %d workers x batch %d against %d target(s) for %v\n",
-		cfg.mode, cfg.workers, cfg.batch, len(targets), cfg.duration)
+	fmt.Printf("ctsload: %s loop, %d workers x %d datagram(s) x batch %d against %d target(s) for %v\n",
+		cfg.mode, cfg.workers, cfg.dgrams, cfg.batch, len(targets), cfg.duration)
 
 	chk := &checker{}
 	var (
-		queries atomic.Uint64
-		errs    atomic.Uint64
-		wg      sync.WaitGroup
-		stop    atomic.Bool
-		lats    = make([]*stats.Durations, cfg.workers)
+		queries  atomic.Uint64
+		errs     atomic.Uint64
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		lats     = make([]*stats.Durations, cfg.workers)
+		cliPaths = make([]string, cfg.workers)
 	)
+	baseSyscalls := uint64(0)
+	if grp != nil {
+		baseSyscalls = grp.syscalls()
+	}
 	for w := 0; w < cfg.workers; w++ {
 		lats[w] = &stats.Durations{}
+		cliPaths[w] = "seq"
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			cli, err := timeserve.NewClient(timeserve.ClientConfig{
 				Targets: rotated(targets, w),
 				Timeout: 250 * time.Millisecond,
+				IO:      ioMode,
 			})
 			if err != nil {
 				errs.Add(1)
@@ -271,7 +313,7 @@ func run(cfg config) error {
 			interval := time.Duration(0)
 			if cfg.mode == "open" && cfg.rate > 0 {
 				perWorker := cfg.rate / float64(cfg.workers)
-				interval = time.Duration(float64(cfg.batch) / perWorker * float64(time.Second))
+				interval = time.Duration(float64(cfg.batch*cfg.dgrams) / perWorker * float64(time.Second))
 			}
 			next := time.Now()
 			var pre snapshot
@@ -284,17 +326,32 @@ func run(cfg config) error {
 				}
 				chk.preSend(&pre)
 				t0 := time.Now()
-				resps, err := cli.QueryBatch(cfg.batch)
+				var resps []timeserve.Response
+				var err error
+				if cfg.dgrams > 1 {
+					resps, err = cli.QueryBurst(cfg.dgrams, cfg.batch)
+				} else {
+					resps, err = cli.QueryBatch(cfg.batch)
+				}
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
 				lats[w].Add(time.Since(t0))
-				queries.Add(uint64(len(resps)))
+				served := uint64(0)
 				for _, r := range resps {
+					if !r.OK() {
+						// Burst exchanges hand refusals back instead of
+						// erroring the whole burst.
+						errs.Add(1)
+						continue
+					}
+					served++
 					chk.onResponse(r, &pre)
 				}
+				queries.Add(served)
 			}
+			cliPaths[w] = cli.IOPath()
 		}(w)
 	}
 
@@ -303,6 +360,10 @@ func run(cfg config) error {
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
+	syscallsPerQuery := -1.0
+	if grp != nil && queries.Load() > 0 {
+		syscallsPerQuery = float64(grp.syscalls()-baseSyscalls) / float64(queries.Load())
+	}
 
 	all := &stats.Durations{}
 	for _, d := range lats {
@@ -317,10 +378,14 @@ func run(cfg config) error {
 	res.Targets = len(targets)
 	res.Workers = cfg.workers
 	res.Batch = cfg.batch
+	res.Dgrams = cfg.dgrams
+	res.BatchMode = batchMode(grp, cliPaths, cfg.dgrams)
 	res.DurationS = elapsed.Seconds()
 	res.Queries = queries.Load()
 	res.QPS = float64(res.Queries) / elapsed.Seconds()
 	res.Errors = errs.Load()
+	res.SyscallsPerQuery = syscallsPerQuery
+	res.AllocsPerOp = measureAllocs()
 	res.Violations.Staleness = chk.stalenessViolations.Load()
 	res.Violations.Regression = chk.regressionViolations.Load()
 	if all.N() > 0 {
@@ -329,10 +394,12 @@ func run(cfg config) error {
 		res.LatencyUS.P999 = float64(all.Percentile(99.9)) / float64(time.Microsecond)
 	}
 
-	fmt.Printf("ctsload: %d queries in %v = %.0f queries/s (%d errors)\n",
-		res.Queries, elapsed.Round(time.Millisecond), res.QPS, res.Errors)
+	fmt.Printf("ctsload: %d queries in %v = %.0f queries/s (%d errors, io=%s)\n",
+		res.Queries, elapsed.Round(time.Millisecond), res.QPS, res.Errors, res.BatchMode)
 	fmt.Printf("ctsload: latency per batched exchange p50=%.0fµs p99=%.0fµs p999=%.0fµs (%d samples)\n",
 		res.LatencyUS.P50, res.LatencyUS.P99, res.LatencyUS.P999, all.N())
+	fmt.Printf("ctsload: syscalls/query=%s allocs/op=%s\n",
+		fmtGauge(res.SyscallsPerQuery), fmtGauge(res.AllocsPerOp))
 	fmt.Printf("ctsload: violations: staleness=%d regression=%d\n",
 		res.Violations.Staleness, res.Violations.Regression)
 
@@ -354,7 +421,58 @@ func run(cfg config) error {
 	if cfg.minQPS > 0 && res.QPS < cfg.minQPS {
 		return fmt.Errorf("sustained %.0f queries/s below -min-qps %.0f", res.QPS, cfg.minQPS)
 	}
+	if cfg.maxSPQ > 0 && res.SyscallsPerQuery > cfg.maxSPQ {
+		return fmt.Errorf("server issued %.3f syscalls/query, above -max-syscalls-per-query %.3f",
+			res.SyscallsPerQuery, cfg.maxSPQ)
+	}
+	if cfg.maxAllocs >= 0 {
+		if res.AllocsPerOp < 0 {
+			fmt.Println("ctsload: allocs/op gate skipped (no batched path on this build, or race detector active)")
+		} else if res.AllocsPerOp > cfg.maxAllocs {
+			return fmt.Errorf("batched serve cycle allocates %.2f allocs/op, above -max-allocs-per-op %.2f",
+				res.AllocsPerOp, cfg.maxAllocs)
+		}
+	}
 	return nil
+}
+
+// batchMode names the kernel I/O path the run actually exercised: the
+// in-process servers' path, degraded to "seq" if any multi-datagram burst
+// client fell off the batched syscalls. With remote targets only the client
+// side is observable.
+func batchMode(grp *group, cliPaths []string, dgrams int) string {
+	mode := "mmsg"
+	if grp != nil {
+		mode = grp.ioPath()
+	} else if !timeserve.MmsgSupported() {
+		mode = "seq"
+	}
+	if dgrams > 1 {
+		for _, p := range cliPaths {
+			if p != "mmsg" {
+				return "seq"
+			}
+		}
+	}
+	return mode
+}
+
+// measureAllocs probes the batched serve cycle's allocations per operation;
+// -1 when unmeasurable (no batched path, or the race detector inflates
+// allocation counts).
+func measureAllocs() float64 {
+	if testutil.RaceEnabled {
+		return -1
+	}
+	return timeserve.ServeAllocsPerOp()
+}
+
+// fmtGauge renders a measured-or-unavailable gauge for the summary line.
+func fmtGauge(v float64) string {
+	if v < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 // rotated returns targets rotated by w, spreading workers across replicas.
@@ -375,10 +493,32 @@ type group struct {
 	targets []string
 }
 
+// ioPath reports the replicas' serving I/O path: "mmsg" only while every
+// frontend is on the batched cycle.
+func (g *group) ioPath() string {
+	for _, svc := range g.svcs {
+		if ts := svc.TimeServe(); ts == nil || ts.IOPath() != "mmsg" {
+			return "seq"
+		}
+	}
+	return "mmsg"
+}
+
+// syscalls sums the replicas' serving-side kernel I/O counters.
+func (g *group) syscalls() uint64 {
+	var n uint64
+	for _, svc := range g.svcs {
+		if ts := svc.TimeServe(); ts != nil {
+			n += ts.Syscalls()
+		}
+	}
+	return n
+}
+
 // startGroup brings up n actively replicated ctsnode-equivalents on
 // loopback, each with the timeserve frontend on an ephemeral port, and
 // waits until every replica holds a lease.
-func startGroup(n, shards int, lease time.Duration) (*group, error) {
+func startGroup(n, shards int, lease time.Duration, serveIO string) (*group, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("-replicas must be at least 2, got %d", n)
 	}
@@ -417,6 +557,7 @@ func startGroup(n, shards int, lease time.Duration) (*group, error) {
 				Addr:        "127.0.0.1:0",
 				Shards:      shards,
 				LeaseWindow: lease,
+				ServeIO:     serveIO,
 			}),
 		)
 		if err != nil {

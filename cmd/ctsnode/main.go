@@ -46,13 +46,14 @@ func main() {
 
 		serve       = flag.String("serve", "", "serve external time queries on this UDP address (e.g. :4460; empty disables)")
 		serveShards = flag.Int("serve-shards", 0, "timeserve listener shards (0 = default 1)")
+		serveIO     = flag.String("serve-io", "auto", "timeserve kernel I/O path: auto|seq|mmsg")
 		lease       = flag.Duration("lease", time.Second, "lease window for external reads between CCS rounds")
 	)
 	flag.Parse()
 	if err := run(runConfig{
 		id: uint32(*id), peers: *peers, style: *style, orderer: *orderer, recovering: *recover,
 		verbose: *verbose, traceFile: *traceFile, metricsEvery: *metrics,
-		serve: *serve, serveShards: *serveShards, lease: *lease,
+		serve: *serve, serveShards: *serveShards, serveIO: *serveIO, lease: *lease,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsnode:", err)
 		os.Exit(1)
@@ -71,6 +72,7 @@ type runConfig struct {
 	metricsEvery time.Duration
 	serve        string
 	serveShards  int
+	serveIO      string
 	lease        time.Duration
 }
 
@@ -198,11 +200,21 @@ func run(rc runConfig) error {
 		cts.WithObservability(rec),
 	}
 	if rc.serve != "" {
-		opts = append(opts, cts.WithTimeServe(cts.TimeServeConfig{
+		tsCfg := cts.TimeServeConfig{
 			Addr:        rc.serve,
 			Shards:      rc.serveShards,
 			LeaseWindow: rc.lease,
-		}))
+			ServeIO:     rc.serveIO,
+		}
+		if rc.verbose {
+			// Degradations (batched syscalls unavailable, SO_REUSEPORT bind
+			// refused) are silent by design on the hot path; surface each
+			// once to the operator.
+			tsCfg.OnFallback = func(reason string) {
+				logger.Log("timeserve_fallback", cts.F("reason", reason))
+			}
+		}
+		opts = append(opts, cts.WithTimeServe(tsCfg))
 	}
 	if rc.verbose {
 		opts = append(opts,
@@ -241,6 +253,7 @@ func run(rc runConfig) error {
 			cts.F("addr", ts.Addr()),
 			cts.F("shards", ts.Shards()),
 			cts.F("reuseport", ts.ReusePort()),
+			cts.F("io", ts.IOPath()),
 			cts.F("lease", rc.lease))
 	}
 

@@ -323,6 +323,15 @@ type TimeServeConfig struct {
 	RefreshEvery time.Duration
 	// RecvBuf and SendBuf size the shard sockets. Default 4 MiB.
 	RecvBuf, SendBuf int
+	// ServeIO selects the shards' kernel I/O path: "auto" (batched
+	// recvmmsg/sendmmsg where supported; the default), "seq" (one datagram
+	// per syscall), or "mmsg" (require batching; Start fails on platforms
+	// without it).
+	ServeIO string
+	// OnFallback, when set, is called once per degradation event: the
+	// batched syscalls proving unavailable at runtime, or a refused
+	// SO_REUSEPORT bind collapsing the shards onto one socket.
+	OnFallback func(reason string)
 }
 
 // WithTimeServe enables the external time-serving frontend: Start enables
@@ -346,6 +355,7 @@ type Service struct {
 
 	refreshTimer sim.Canceler // loop-only
 	refreshStop  atomic.Bool
+	stopped      atomic.Bool
 }
 
 // leaseSource adapts the core lease plane to the timeserve frontend.
@@ -507,15 +517,21 @@ func (s *Service) startTimeServe(cfg TimeServeConfig) error {
 	}); err != nil {
 		return err
 	}
+	io, err := timeserve.ParseIOMode(cfg.ServeIO)
+	if err != nil {
+		return err
+	}
 	node := uint32(s.stack.LocalID())
 	srv, err := timeserve.Start(timeserve.Config{
-		Addr:    cfg.Addr,
-		Shards:  cfg.Shards,
-		Node:    node,
-		Source:  leaseSource{svc: s.svc, node: node},
-		RecvBuf: cfg.RecvBuf,
-		SendBuf: cfg.SendBuf,
-		Obs:     s.obs.ForNode(node),
+		Addr:       cfg.Addr,
+		Shards:     cfg.Shards,
+		Node:       node,
+		Source:     leaseSource{svc: s.svc, node: node},
+		RecvBuf:    cfg.RecvBuf,
+		SendBuf:    cfg.SendBuf,
+		IO:         io,
+		OnFallback: cfg.OnFallback,
+		Obs:        s.obs.ForNode(node),
 	})
 	if err != nil {
 		return err
@@ -544,8 +560,13 @@ func (s *Service) refreshTick(every time.Duration) {
 }
 
 // Stop leaves the group, halts the serving frontend and refresher, and, for
-// a facade-built stack, halts the ring.
+// a facade-built stack, halts the ring. Idempotent: Start already stops the
+// stack when a later phase (e.g. the serving frontend) fails to come up, and
+// callers typically also hold a deferred Stop.
 func (s *Service) Stop() {
+	if !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
 	s.refreshStop.Store(true)
 	s.rt.Post(func() {
 		if s.refreshTimer != nil {

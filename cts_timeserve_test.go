@@ -1,6 +1,7 @@
 package cts_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -102,4 +103,39 @@ func TestFacadeTimeServe(t *testing.T) {
 			t.Fatalf("replica %d regressed: %v < %v", i, b.GroupClock, a.GroupClock)
 		}
 	}
+}
+
+// TestStartFailureThenStop pins the shutdown contract ctsnode relies on:
+// when a late Start phase fails (here an invalid ServeIO), Start tears the
+// stack down itself, and the caller's deferred Stop must be a harmless
+// no-op — not a second teardown that double-closes the invocation thread.
+func TestStartFailureThenStop(t *testing.T) {
+	k := sim.NewKernel(7)
+	net := simnet.NewNetwork(k, nil)
+	ring := []transport.NodeID{1, 2}
+	svc, err := cts.New(
+		cts.WithRuntime(k),
+		cts.WithTransport(net.Endpoint(1)),
+		cts.WithRingMembers(ring),
+		cts.WithClock(hwclock.NewSim(k.Now)),
+		cts.WithTimeServe(cts.TimeServeConfig{
+			Addr:    "127.0.0.1:0",
+			ServeIO: "bogus",
+		}),
+	)
+	if err != nil {
+		t.Fatalf("cts.New: %v", err)
+	}
+	err = svc.Start()
+	if err == nil {
+		t.Fatal("Start with ServeIO=bogus succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), `unknown I/O mode "bogus"`) {
+		t.Fatalf("Start error = %v, want the ParseIOMode error", err)
+	}
+	svc.Stop() // the deferred Stop every caller holds
+	svc.Stop() // and Stop is documented idempotent
+	// Drain the posted teardown work; before Stop was idempotent this
+	// panicked with "close of closed channel" on the loop.
+	k.RunFor(time.Second)
 }

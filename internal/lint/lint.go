@@ -151,6 +151,12 @@ func DefaultConfig() Config {
 			"WriteTo",
 			"ReadFromUDP",
 			"WriteToUDP",
+			// syscall.RawConn dispatch in the batched serve loop: Read/Write
+			// invoke a pre-built closure over the raw fd and park on the
+			// netpoller; neither allocates in steady state. Keyed to the
+			// rendered receiver so unrelated Read/Write calls stay flagged.
+			"rc.Read",
+			"rc.Write",
 			"UnixNano",
 			"Nanoseconds",
 			"Seconds",
@@ -163,6 +169,10 @@ func DefaultConfig() Config {
 		},
 		AllocfreeRequire: []RequiredRoot{
 			{PkgSuffix: "internal/timeserve", Func: "Server.serveLoop"},
+			// The batched drain-serve path; every build flavor carries an
+			// annotated serveBatch (mmsg_other.go stubs it), so the pin
+			// holds on platforms without the syscalls too.
+			{PkgSuffix: "internal/timeserve", Func: "Server.serveBatch"},
 			{PkgSuffix: "internal/core", Func: "TimeService.LeaseRead"},
 		},
 	}

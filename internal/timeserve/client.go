@@ -28,6 +28,11 @@ type ClientConfig struct {
 	// Mono measures elapsed time for cache aging. Defaults to the machine's
 	// monotonic clock (hwclock.Monotonic); tests inject a manual source.
 	Mono hwclock.Source
+	// IO selects the I/O path QueryBurst uses: IOAuto (batched syscalls
+	// where the build supports them), IOSequential (one datagram per
+	// syscall), or IOMmsg (require batching; Validate errors on builds
+	// without it).
+	IO IOMode
 }
 
 // Validate checks cfg and fills defaults.
@@ -50,8 +55,14 @@ func (c ClientConfig) Validate() (ClientConfig, error) {
 	if c.Mono == nil {
 		c.Mono = hwclock.Monotonic()
 	}
+	if c.IO == IOMmsg && !mmsgSupported {
+		return c, errors.New("timeserve: ClientConfig.IO \"mmsg\" is not supported on this platform")
+	}
 	return c, nil
 }
+
+// MaxBurst is the most request datagrams QueryBurst sends in one call.
+const MaxBurst = 64
 
 // ErrNoReplica is returned when every attempt timed out or was refused.
 var ErrNoReplica = errors.New("timeserve: no replica answered from a valid lease")
@@ -79,6 +90,16 @@ type Client struct {
 
 	rbuf []byte
 	wbuf []byte
+
+	// Burst state: resps is the reused response slice QueryBurst returns
+	// (valid until the next call), bursts the lazily built per-target
+	// batched-I/O rings, mmsgFell whether a runtime probe proved the batched
+	// syscalls unavailable (seccomp, exotic kernels) so bursts degraded to
+	// the sequential path.
+	resps      []Response
+	bursts     []*clientBurst
+	mmsgFell   bool
+	mmsgProven bool
 }
 
 // NewClient returns a client over the given replica targets.
@@ -88,10 +109,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
-		cfg:   cfg,
-		conns: make([]*net.UDPConn, len(cfg.Targets)),
-		rbuf:  make([]byte, MaxDatagram),
-		wbuf:  make([]byte, 0, MaxBatch*ReqSize),
+		cfg:    cfg,
+		conns:  make([]*net.UDPConn, len(cfg.Targets)),
+		bursts: make([]*clientBurst, len(cfg.Targets)),
+		rbuf:   make([]byte, MaxDatagram),
+		wbuf:   make([]byte, 0, MaxBatch*ReqSize),
 	}, nil
 }
 
@@ -138,6 +160,118 @@ func (c *Client) QueryBatch(k int) ([]Response, error) {
 		return nil, fmt.Errorf("timeserve: batch size %d outside [1, %d]", k, MaxBatch)
 	}
 	return c.exchange(k)
+}
+
+// QueryBurst sends dgrams request datagrams of k queries each in one burst
+// and collects the replies. It mirrors the server's batched receive path:
+// on builds with sendmmsg/recvmmsg the whole burst goes to the kernel in one
+// syscall (unless ClientConfig.IO forces the sequential path), driving the
+// server into multi-datagram drains. The returned slice — valid until the
+// next burst — holds every response that arrived before the deadline,
+// including refusals (FlagStale); callers inspect Flags themselves. A target
+// that returns nothing at all before the deadline rotates the client to the
+// next replica, like Query. The cache is not touched.
+func (c *Client) QueryBurst(dgrams, k int) ([]Response, error) {
+	if dgrams < 1 || dgrams > MaxBurst {
+		return nil, fmt.Errorf("timeserve: burst size %d outside [1, %d]", dgrams, MaxBurst)
+	}
+	if k < 1 || k > MaxBatch {
+		return nil, fmt.Errorf("timeserve: batch size %d outside [1, %d]", k, MaxBatch)
+	}
+	var lastErr error = ErrNoReplica
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		resps, err := c.burstOnce(c.cur, dgrams, k)
+		if err == nil {
+			return resps, nil
+		}
+		lastErr = err
+		c.cur = (c.cur + 1) % len(c.cfg.Targets)
+	}
+	return nil, lastErr
+}
+
+// IOPath names the I/O path bursts are using: "mmsg" while the batched
+// syscalls are in play, "seq" when the build lacks them, the config forbids
+// them, or a runtime probe fell back.
+func (c *Client) IOPath() string {
+	if mmsgSupported && c.cfg.IO != IOSequential && !c.mmsgFell {
+		return "mmsg"
+	}
+	return "seq"
+}
+
+// burstOnce runs one burst against one target, preferring the batched path
+// and degrading permanently to sequential writes if the syscalls prove
+// unavailable.
+func (c *Client) burstOnce(target, dgrams, k int) ([]Response, error) {
+	conn, err := c.conn(target)
+	if err != nil {
+		return nil, err
+	}
+	base := c.nonce
+	c.nonce += uint64(dgrams * k)
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	if mmsgSupported && c.cfg.IO != IOSequential && !c.mmsgFell {
+		b := c.burstState(target, conn)
+		if b != nil {
+			resps, ok, err := c.mmsgBurst(b, target, base, dgrams, k)
+			if ok {
+				return resps, err
+			}
+		}
+		c.mmsgFell = true // no batched syscalls here: stay sequential
+	}
+	return c.seqBurst(conn, target, base, dgrams, k)
+}
+
+// seqBurst is the portable burst: dgrams writes, then reads until every
+// datagram answered or the deadline fires. Responses outside the burst's
+// nonce window (strays from earlier timed-out attempts) are discarded.
+func (c *Client) seqBurst(conn *net.UDPConn, target int, base uint64, dgrams, k int) ([]Response, error) {
+	for d := 0; d < dgrams; d++ {
+		c.wbuf = c.wbuf[:0]
+		for i := 0; i < k; i++ {
+			c.wbuf = AppendRequest(c.wbuf, Request{Nonce: base + uint64(d*k+i)})
+		}
+		if _, err := conn.Write(c.wbuf); err != nil {
+			return nil, fmt.Errorf("timeserve: send to %s: %w", c.cfg.Targets[target], err)
+		}
+	}
+	c.resps = c.resps[:0]
+	span := uint64(dgrams * k)
+	got := 0
+	for got < dgrams {
+		n, err := conn.Read(c.rbuf)
+		if err != nil {
+			break // deadline: return whatever arrived
+		}
+		if c.appendWindow(c.rbuf[:n], base, span, k) {
+			got++
+		}
+	}
+	if len(c.resps) == 0 {
+		return nil, fmt.Errorf("timeserve: burst to %s: %w", c.cfg.Targets[target], ErrNoReplica)
+	}
+	return c.resps, nil
+}
+
+// appendWindow parses one response datagram against the burst's nonce window
+// and appends its responses to c.resps. It reports whether the datagram
+// belonged to this burst; strays leave c.resps untouched.
+func (c *Client) appendWindow(b []byte, base, span uint64, k int) bool {
+	if len(b) == 0 || len(b)%RespSize != 0 || len(b) > k*RespSize {
+		return false
+	}
+	mark := len(c.resps)
+	for off := 0; off < len(b); off += RespSize {
+		r, err := ParseResponse(b[off : off+RespSize])
+		if err != nil || r.Nonce < base || r.Nonce >= base+span {
+			c.resps = c.resps[:mark]
+			return false
+		}
+		c.resps = append(c.resps, r)
+	}
+	return true
 }
 
 // CacheStats reports Now's cache hits and misses.

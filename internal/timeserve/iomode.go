@@ -1,0 +1,55 @@
+package timeserve
+
+import "fmt"
+
+// IOMode selects the kernel I/O path a Server's shards (and a Client's
+// bursts) use.
+//
+// The batched path drains each SO_REUSEPORT socket with recvmmsg into a
+// preallocated message ring, answers every datagram in the drain from one
+// lease snapshot, and flushes the replies with a single sendmmsg — two
+// syscalls for a whole batch instead of one recvfrom + one sendto per
+// datagram. It exists on Linux (amd64/arm64); everywhere else, and whenever
+// the syscalls are unavailable at runtime, shards fall back to the
+// sequential loop.
+type IOMode int
+
+const (
+	// IOAuto picks the batched path where supported and falls back to the
+	// sequential loop otherwise. The default.
+	IOAuto IOMode = iota
+	// IOSequential forces the one-datagram-per-syscall loop everywhere.
+	IOSequential
+	// IOMmsg requires the batched recvmmsg/sendmmsg path; Start (and burst
+	// clients) fail on platforms without it.
+	IOMmsg
+)
+
+// ParseIOMode parses the -serve-io flag values "auto", "seq" and "mmsg".
+func ParseIOMode(s string) (IOMode, error) {
+	switch s {
+	case "", "auto":
+		return IOAuto, nil
+	case "seq":
+		return IOSequential, nil
+	case "mmsg":
+		return IOMmsg, nil
+	default:
+		return 0, fmt.Errorf("timeserve: unknown I/O mode %q (want auto, seq or mmsg)", s)
+	}
+}
+
+func (m IOMode) String() string {
+	switch m {
+	case IOSequential:
+		return "seq"
+	case IOMmsg:
+		return "mmsg"
+	default:
+		return "auto"
+	}
+}
+
+// MmsgSupported reports whether this build carries the batched
+// recvmmsg/sendmmsg path (Linux on amd64/arm64).
+func MmsgSupported() bool { return mmsgSupported }

@@ -1,0 +1,12 @@
+//go:build linux && amd64
+
+package timeserve
+
+// Syscall numbers for the batched UDP path. SYS_RECVMMSG is in the stdlib
+// syscall table for linux/amd64, but the table was frozen before sendmmsg
+// landed (kernel 3.0), so its number is spelled out here — stable x86_64 ABI,
+// same approach as the soReusePort constant in reuseport_linux.go.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package timeserve
+
+// Syscall numbers for the batched UDP path on the arm64 (aarch64) ABI.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

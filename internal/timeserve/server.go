@@ -52,6 +52,19 @@ type Config struct {
 	// Mono measures server uptime for the timeserve.qps sample. Defaults to
 	// the machine's monotonic clock (hwclock.Monotonic).
 	Mono hwclock.Source
+	// IO selects the kernel I/O path. IOAuto (the default) runs the batched
+	// recvmmsg/sendmmsg drain-serve-flush cycle where the platform supports
+	// it and falls back to the sequential loop otherwise; IOSequential
+	// forces the sequential loop everywhere; IOMmsg makes Start fail on
+	// platforms without the batched syscalls.
+	IO IOMode
+	// OnFallback, when set, is called at most once per degradation with a
+	// short reason whenever the server cannot take a configured fast path:
+	// a refused SO_REUSEPORT bind (shard scaling flatlines on one kernel
+	// queue) or batched syscalls unavailable at runtime (seccomp, exotic
+	// kernels). The obs counters timeserve.reuseport_fallback and
+	// timeserve.mmsg_fallback record the same events unconditionally.
+	OnFallback func(reason string)
 }
 
 // Validate checks cfg and fills defaults.
@@ -77,6 +90,9 @@ func (c Config) Validate() (Config, error) {
 	if c.Mono == nil {
 		c.Mono = hwclock.Monotonic()
 	}
+	if c.IO == IOMmsg && !mmsgSupported {
+		return c, errors.New("timeserve: Config.IO requires the batched recvmmsg/sendmmsg path, which this platform does not support (use auto or seq)")
+	}
 	return c, nil
 }
 
@@ -88,7 +104,11 @@ type shard struct {
 	staleRejected atomic.Uint64
 	drops         atomic.Uint64
 	datagrams     atomic.Uint64
-	_             [88]byte
+	// syscalls counts kernel I/O operations this shard issued (recvmmsg/
+	// sendmmsg attempts on the batched path, one per ReadFrom/WriteTo on the
+	// sequential path). syscalls ÷ queries is the bench gate column.
+	syscalls atomic.Uint64
+	_        [80]byte
 }
 
 // Server serves the timeserve protocol off a replica's lease plane.
@@ -101,6 +121,12 @@ type Server struct {
 	addr      net.Addr
 	reuseport bool
 	closed    atomic.Bool
+
+	ioMmsg       bool          // resolved at Start: shards attempt the batched path
+	mmsgDrains   atomic.Uint64 // successful recvmmsg drains across shards
+	mmsgFell     atomic.Uint64 // shards degraded to the sequential loop at runtime
+	reuseFell    atomic.Uint64 // 1 when the SO_REUSEPORT bind fallback triggered
+	fallbackOnce sync.Once     // OnFallback fires once for the mmsg degradation
 }
 
 // Start binds the shards and begins serving. With Shards > 1 on Linux each
@@ -139,8 +165,14 @@ func Start(cfg Config) (*Server, error) {
 			pc, err := lc.ListenPacket(context.Background(), "udp", s.addr.String())
 			if err != nil {
 				// SO_REUSEPORT bind refused (e.g. exotic kernel config):
-				// fall back to sharing the first socket.
+				// fall back to sharing the first socket. Recorded — shard
+				// scaling flatlines on one kernel queue, and operators need
+				// to see why (timeserve.reuseport_fallback, OnFallback).
 				s.reuseport = false
+				s.reuseFell.Store(1)
+				if cfg.OnFallback != nil {
+					cfg.OnFallback("SO_REUSEPORT bind refused; shards share one socket: " + err.Error())
+				}
 				break
 			}
 			s.setBuffers(pc)
@@ -149,6 +181,7 @@ func Start(cfg Config) (*Server, error) {
 		}
 	}
 
+	s.ioMmsg = mmsgSupported && cfg.IO != IOSequential
 	for i := 0; i < cfg.Shards; i++ {
 		pc := s.conns[0]
 		if i < len(s.conns) {
@@ -183,12 +216,52 @@ func (s *Server) ReusePort() bool { return s.reuseport }
 // Shards reports the number of serving shards.
 func (s *Server) Shards() int { return len(s.shards) }
 
-// serve allocates one shard's reusable buffers and runs its receive loop.
-// The split keeps serveLoop — the part that runs per datagram, forever —
-// genuinely allocation-free under the static rule: everything the loop
-// needs is handed in up front.
+// IOPath reports the kernel I/O path the shards are actually on: "mmsg" when
+// every shard runs the batched drain-serve-flush cycle, "seq" otherwise
+// (sequential build or mode, or any shard degraded at runtime).
+func (s *Server) IOPath() string {
+	if s.ioMmsg && s.mmsgFell.Load() == 0 {
+		return "mmsg"
+	}
+	return "seq"
+}
+
+// Syscalls reports the kernel I/O operations issued across all shards.
+func (s *Server) Syscalls() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].syscalls.Load()
+	}
+	return n
+}
+
+// ReusePortFallback reports whether a refused SO_REUSEPORT bind forced the
+// shards onto one shared socket.
+func (s *Server) ReusePortFallback() bool { return s.reuseFell.Load() != 0 }
+
+// serve runs one shard: the batched recvmmsg/sendmmsg cycle where the mode
+// and platform allow it, the sequential loop otherwise. The fallback ladder
+// is per shard — a runtime refusal of the batched syscalls (seccomp, exotic
+// kernels) degrades only after being counted and reported once. The split
+// keeps the loops — the parts that run per datagram, forever — genuinely
+// allocation-free under the static rule: everything they need is handed in
+// up front.
 func (s *Server) serve(pc net.PacketConn, sh *shard) {
 	defer s.wg.Done()
+	if s.ioMmsg {
+		if s.serveBatched(pc, sh) {
+			return
+		}
+		if s.closed.Load() {
+			return
+		}
+		s.mmsgFell.Add(1)
+		s.fallbackOnce.Do(func() {
+			if s.cfg.OnFallback != nil {
+				s.cfg.OnFallback("batched recvmmsg/sendmmsg unavailable at runtime; serving sequentially")
+			}
+		})
+	}
 	buf := make([]byte, MaxDatagram)
 	out := make([]byte, 0, MaxBatch*RespSize)
 	s.serveLoop(pc, sh, buf, out)
@@ -204,6 +277,7 @@ func (s *Server) serve(pc net.PacketConn, sh *shard) {
 func (s *Server) serveLoop(pc net.PacketConn, sh *shard, buf, out []byte) {
 	for {
 		n, from, err := pc.ReadFrom(buf)
+		sh.syscalls.Add(1)
 		if err != nil {
 			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return
@@ -246,7 +320,9 @@ func (s *Server) serveLoop(pc net.PacketConn, sh *shard, buf, out []byte) {
 			sh.drops.Add(1) // runt or trailing garbage
 		}
 		if len(out) > 0 {
-			if _, err := pc.WriteTo(out, from); err != nil && !s.closed.Load() {
+			_, err := pc.WriteTo(out, from)
+			sh.syscalls.Add(1)
+			if err != nil && !s.closed.Load() {
 				sh.drops.Add(uint64(accepted))
 			}
 		}
@@ -288,6 +364,10 @@ func (s *Server) ObsSamples() []obs.Sample {
 		{Node: id, Name: "timeserve.stale_rejected", Value: stale},
 		{Node: id, Name: "timeserve.datagrams", Value: datagrams},
 		{Node: id, Name: "timeserve.drops", Value: drops},
+		{Node: id, Name: "timeserve.syscalls", Value: s.Syscalls()},
+		{Node: id, Name: "timeserve.mmsg_drains", Value: s.mmsgDrains.Load()},
+		{Node: id, Name: "timeserve.mmsg_fallback", Value: s.mmsgFell.Load()},
+		{Node: id, Name: "timeserve.reuseport_fallback", Value: s.reuseFell.Load()},
 	}
 	for i := range s.shards {
 		samples = append(samples, obs.Sample{
