@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-concurrent loadtest campaign-smoke campaign
+.PHONY: check fmt vet lint build test race bench bench-concurrent loadtest campaign-smoke campaign federation-smoke
 
 # check is the CI gate: formatting, vet, the project linter, build, the
-# race-enabled tests, the batched-round smoke, the timeserve load smoke and
-# the campaign smoke.
-check: fmt vet lint build race bench-concurrent loadtest campaign-smoke
+# race-enabled tests, the batched-round smoke, the timeserve load smoke, the
+# campaign smoke and the federation smoke.
+check: fmt vet lint build race bench-concurrent loadtest campaign-smoke federation-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -66,3 +66,11 @@ campaign-smoke:
 # BENCH_campaign.json + BENCH_campaign.csv (see EXPERIMENTS.md).
 campaign:
 	$(GO) run ./cmd/ctscampaign -json BENCH_campaign.json -csv BENCH_campaign.csv
+
+# federation-smoke runs the multi-group federation sweep (E17): line
+# topologies at 2/4/8 groups plus an inter-group sever/heal cell. Every cell
+# self-gates — zero regressions, zero cross-group staleness violations, zero
+# monotonicity fixes, seam skew under the ceiling, reconvergence in time.
+# Writes BENCH_federation.json.
+federation-smoke:
+	$(GO) run ./cmd/ctsbench -exp federation -jsonFederation BENCH_federation.json

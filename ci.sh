@@ -62,4 +62,16 @@ echo "== ctscampaign smoke (BENCH_campaign_smoke.json) =="
 # regressions, zero staleness-bound violations and bounded reconvergence.
 go run ./cmd/ctscampaign -scenarios churn-storm,slow-clocks -nodes 100 -json BENCH_campaign_smoke.json
 
+echo "== ctsbench federation sweep (BENCH_federation.json) =="
+# Multi-group federation (E17): line topologies at 2/4/8 groups plus an
+# inter-group sever/heal cell. Self-gating — zero regressions, zero
+# cross-group staleness violations, seam skew under the ceiling.
+go run ./cmd/ctsbench -exp federation -jsonFederation BENCH_federation.json
+
+echo "== ctsload federated migrating clients =="
+# Two federated in-process groups; each worker migrates across them every
+# exchange, checking the global staleness floor and the (group, node)-keyed
+# regression floors end to end over real UDP.
+go run ./cmd/ctsload -inprocess -duration 2s -fed-groups 2 -min-qps 100000 -json ""
+
 echo "CI checks passed."

@@ -23,23 +23,25 @@ import (
 	"time"
 
 	"cts"
+	"cts/internal/campaign"
 	"cts/internal/experiment"
 	"cts/internal/stats"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (fig1|fig5|fig5concurrent|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|all)")
+		exp     = flag.String("exp", "all", "experiment to run (fig1|fig5|fig5concurrent|fig6|msgcounts|rollback|recovery|drift|token|scale|ablation|federation|all)")
 		seed    = flag.Int64("seed", 2003, "simulation seed")
 		full    = flag.Bool("full", false, "run at the paper's full sizes (10,000 invocations)")
 		trace   = flag.String("trace", "fig5.trace.jsonl", "write the fig5 CCS round trace to this file as JSON lines (empty disables)")
 		jsonOut = flag.String("json", "BENCH_fig5.json", "write the fig5 latency summary to this file as JSON (empty disables)")
 		readers = flag.Int("readers", 8, "concurrent reader threads per replica for the concurrent experiment")
 		jsonCon = flag.String("jsonConcurrent", "BENCH_fig5_concurrent.json", "write the concurrent-reader summary to this file as JSON (empty disables)")
+		jsonFed = flag.String("jsonFederation", "BENCH_federation.json", "write the federation sweep to this file as JSON (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *seed, *full, *trace, *jsonOut, *readers, *jsonCon); err != nil {
+	if err := run(*exp, *seed, *full, *trace, *jsonOut, *readers, *jsonCon, *jsonFed); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsbench:", err)
 		os.Exit(1)
 	}
@@ -225,7 +227,24 @@ func runFig5Traced(seed int64, invocations int, traceFile string) (interface{ Re
 	return withSummary{inner: res, extra: extra}, nil
 }
 
-func run(exp string, seed int64, full bool, trace, jsonOut string, readers int, jsonCon string) error {
+// writeFederationJSON exports the federation sweep for CI tracking. Every
+// cell carries its own pass/fail verdict and failure list, so the file is
+// self-gating: a regression shows up as pass=false, never as silently
+// missing coverage.
+func writeFederationJSON(path string, fed *experiment.FederationSweepResult) error {
+	out := struct {
+		Experiment string               `json:"experiment"`
+		Seed       int64                `json:"seed"`
+		Cells      []campaign.FedResult `json:"cells"`
+	}{Experiment: "federation", Seed: fed.Seed, Cells: fed.Cells}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func run(exp string, seed int64, full bool, trace, jsonOut string, readers int, jsonCon, jsonFed string) error {
 	invocations := 1000
 	ops := 1000
 	readsPer := 25
@@ -236,6 +255,7 @@ func run(exp string, seed int64, full bool, trace, jsonOut string, readers int, 
 	}
 	var fig5 *experiment.Figure5Result
 	var conc *concurrentRun
+	var fed *experiment.FederationSweepResult
 
 	type runner struct {
 		name string
@@ -293,6 +313,11 @@ func run(exp string, seed int64, full bool, trace, jsonOut string, readers int, 
 		{"ablation", func() (interface{ Render() string }, error) {
 			return experiment.RunCCSAblation(seed, min(invocations, 2000))
 		}},
+		{"federation", func() (interface{ Render() string }, error) {
+			res, err := experiment.RunFederationSweep(seed)
+			fed = res
+			return res, err
+		}},
 	}
 
 	aliases := map[string]string{"fig6a": "fig6", "fig6b": "fig6", "fig6c": "fig6"}
@@ -344,6 +369,17 @@ func run(exp string, seed int64, full bool, trace, jsonOut string, readers int, 
 		}
 		if err := conc.gate(); err != nil {
 			return fmt.Errorf("fig5concurrent gate: %w", err)
+		}
+	}
+	if fed != nil {
+		if jsonFed != "" {
+			if err := writeFederationJSON(jsonFed, fed); err != nil {
+				return fmt.Errorf("write %s: %w", jsonFed, err)
+			}
+			fmt.Printf("federation sweep -> %s\n", jsonFed)
+		}
+		if err := fed.Gate(); err != nil {
+			return fmt.Errorf("federation gate: %w", err)
 		}
 	}
 	return nil

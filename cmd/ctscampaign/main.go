@@ -71,19 +71,28 @@ func run(list bool, matrixF, scenarios, nodes, seeds, jsonOut, csvOut string) er
 		if !ok {
 			return fmt.Errorf("matrix names unknown scenario %q", cell.Scenario)
 		}
+		if cell.ClampedFrom > 0 {
+			fmt.Printf("%-18s clamping %d -> %d nodes (scenario max_nodes)\n",
+				cell.Scenario, cell.ClampedFrom, cell.Nodes)
+		}
 		res, err := campaign.Run(sc, cell.Nodes, cell.Seed)
 		if err != nil {
 			return fmt.Errorf("%s/n=%d/seed=%d: %w", cell.Scenario, cell.Nodes, cell.Seed, err)
 		}
+		res.ClampedFrom = cell.ClampedFrom
 		results = append(results, res)
 		status := "pass"
 		if !res.Pass {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Printf("%-18s n=%-5d seed=%-6d %s  reconverge=%.1fms bound(max/mean)=%.0f/%.0fµs rounds=%d dropped=%d\n",
+		clamped := ""
+		if res.ClampedFrom > 0 {
+			clamped = fmt.Sprintf(" (clamped from %d)", res.ClampedFrom)
+		}
+		fmt.Printf("%-18s n=%-5d seed=%-6d %s  reconverge=%.1fms bound(max/mean)=%.0f/%.0fµs rounds=%d dropped=%d%s\n",
 			res.Scenario, res.Nodes, res.Seed, status, res.Metrics.ReconvergeMS,
-			res.Metrics.MaxBoundUS, res.Metrics.MeanBoundUS, res.Metrics.Rounds, res.Metrics.NetDropped)
+			res.Metrics.MaxBoundUS, res.Metrics.MeanBoundUS, res.Metrics.Rounds, res.Metrics.NetDropped, clamped)
 		for _, f := range res.Failures {
 			fmt.Printf("    gate: %s\n", f)
 		}
@@ -166,13 +175,13 @@ func writeJSON(path string, results []campaign.Result) error {
 // writeCSV emits one plot-ready row per cell.
 func writeCSV(path string, results []campaign.Result) error {
 	var b strings.Builder
-	b.WriteString("scenario,nodes,seed,orderer,pass,regressions,staleness_violations," +
+	b.WriteString("scenario,nodes,clamped_from,seed,orderer,pass,regressions,staleness_violations," +
 		"monotonicity_fixes,reconverge_ms,samples,max_bound_us,mean_bound_us,max_spread_us," +
 		"rounds,refreshes,ccs_sent,lease_invalidations,views_emitted,net_dropped\n")
 	for _, r := range results {
 		m := r.Metrics
-		fmt.Fprintf(&b, "%s,%d,%d,%s,%t,%d,%d,%d,%.3f,%d,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d\n",
-			r.Scenario, r.Nodes, r.Seed, r.Orderer, r.Pass,
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%s,%t,%d,%d,%d,%.3f,%d,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d\n",
+			r.Scenario, r.Nodes, r.ClampedFrom, r.Seed, r.Orderer, r.Pass,
 			m.Regressions, m.StalenessViolations, m.MonotonicityFixes, m.ReconvergeMS,
 			m.Samples, m.MaxBoundUS, m.MeanBoundUS, m.MaxSpreadUS,
 			m.Rounds, m.Refreshes, m.CCSSent, m.Invalidations, m.ViewsEmitted, m.NetDropped)

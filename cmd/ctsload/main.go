@@ -24,6 +24,13 @@
 //
 // The run fails (exit 1) on any violation, or when -min-qps is set and not
 // met. -json writes a machine-readable result (default BENCH_timeserve.json).
+//
+// With -inprocess -fed-groups N the load runs against N federated groups
+// (line topology over loopback summary links) and every worker migrates
+// across the groups between exchanges, so both invariants are checked
+// ACROSS groups: the staleness floor is global (federated bounds must cover
+// inter-group skew) and the regression floors are keyed by (group, node) —
+// node ids alone collide between groups.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"cts"
+	"cts/internal/federation"
 	"cts/internal/stats"
 	"cts/internal/testutil"
 	"cts/internal/timeserve"
@@ -50,6 +58,7 @@ func main() {
 	var (
 		targets   = flag.String("targets", "", "comma-separated timeserve addresses of the replica group")
 		inprocess = flag.Bool("inprocess", false, "start a local 3-replica group and load it (ignores -targets)")
+		fedGroups = flag.Int("fed-groups", 0, "with -inprocess: start this many federated groups (line topology) and migrate each worker across them every exchange (0/1 = single group)")
 		replicas  = flag.Int("replicas", 3, "replica count for -inprocess")
 		shards    = flag.Int("shards", 1, "timeserve shards per in-process replica")
 		lease     = flag.Duration("lease", time.Second, "lease window for -inprocess replicas")
@@ -68,7 +77,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(config{
-		targets: *targets, inprocess: *inprocess, replicas: *replicas,
+		targets: *targets, inprocess: *inprocess, fedGroups: *fedGroups, replicas: *replicas,
 		shards: *shards, lease: *lease, mode: *mode, rate: *rate,
 		workers: *workers, batch: *batch, dgrams: *dgrams, serveIO: *serveIO,
 		duration: *duration, minQPS: *minQPS, maxSPQ: *maxSPQ,
@@ -82,6 +91,7 @@ func main() {
 type config struct {
 	targets   string
 	inprocess bool
+	fedGroups int
 	replicas  int
 	shards    int
 	lease     time.Duration
@@ -108,7 +118,9 @@ type config struct {
 type checker struct {
 	// lowerFloor is the highest (group − bound) of any completed reading:
 	// readings sent after that completion must advertise intervals reaching
-	// it.
+	// it. It is global across replica groups — with -fed-groups this is the
+	// federation's promise, since every group's advertised bound folds the
+	// inter-group slack.
 	lowerFloor atomic.Int64
 	// nodes holds one served-clock floor per replica, for the per-replica
 	// regression check. The entry list only grows; workers snapshot it
@@ -120,7 +132,14 @@ type checker struct {
 	regressionViolations atomic.Uint64
 }
 
+// nodeEntry keys the per-replica floor by (group, node), never node alone:
+// the wire response's node id is only unique within one replica group, so a
+// worker migrating across federated groups would otherwise fold two distinct
+// replicas' clocks into one floor and flag phantom regressions (or mask real
+// ones). The group here is the client-side identity of the group whose
+// frontend was queried — the response itself does not carry one.
 type nodeEntry struct {
+	group uint32
 	node  uint32
 	clock *atomic.Int64
 }
@@ -146,10 +165,10 @@ func (c *checker) preSend(s *snapshot) {
 	}
 }
 
-func (c *checker) nodeFloor(node uint32) *atomic.Int64 {
+func (c *checker) nodeFloor(group, node uint32) *atomic.Int64 {
 	if p := c.nodeList.Load(); p != nil {
 		for _, e := range *p {
-			if e.node == node {
+			if e.group == group && e.node == node {
 				return e.clock
 			}
 		}
@@ -160,33 +179,34 @@ func (c *checker) nodeFloor(node uint32) *atomic.Int64 {
 	if p := c.nodeList.Load(); p != nil {
 		entries = *p
 		for _, e := range entries {
-			if e.node == node {
+			if e.group == group && e.node == node {
 				return e.clock
 			}
 		}
 	}
 	clock := new(atomic.Int64)
-	grown := append(append([]nodeEntry(nil), entries...), nodeEntry{node: node, clock: clock})
+	grown := append(append([]nodeEntry(nil), entries...), nodeEntry{group: group, node: node, clock: clock})
 	c.nodeList.Store(&grown)
 	return clock
 }
 
 // onResponse validates one leased response against the pre-send snapshot
-// and folds it into the floors.
-func (c *checker) onResponse(r timeserve.Response, pre *snapshot) {
+// and folds it into the floors. group identifies the replica group whose
+// frontend answered (always 0 for single-group runs).
+func (c *checker) onResponse(group uint32, r timeserve.Response, pre *snapshot) {
 	g, b := int64(r.Group), int64(r.Bound)
 	if g+b < pre.floor {
 		c.stalenessViolations.Add(1)
 	}
 	for i, e := range pre.entries {
-		if e.node == r.Node {
+		if e.group == group && e.node == r.Node {
 			if g < pre.clocks[i] {
 				c.regressionViolations.Add(1)
 			}
 			break
 		}
 	}
-	nf := c.nodeFloor(r.Node)
+	nf := c.nodeFloor(group, r.Node)
 	for {
 		prev := nf.Load()
 		if g <= prev {
@@ -214,9 +234,12 @@ type result struct {
 	Seed     int64  `json:"seed"`
 	Mode     string `json:"mode"`
 	Targets  int    `json:"targets"`
-	Workers  int    `json:"workers"`
-	Batch    int    `json:"batch"`
-	Dgrams   int    `json:"dgrams"`
+	// FedGroups is the number of federated in-process groups the workers
+	// migrated across (0 for a plain single-group run).
+	FedGroups int `json:"fed_groups,omitempty"`
+	Workers   int `json:"workers"`
+	Batch     int `json:"batch"`
+	Dgrams    int `json:"dgrams"`
 	// BatchMode names the kernel I/O path the run actually exercised:
 	// "mmsg" when every in-process replica (and, for multi-datagram bursts,
 	// every client) stayed on the batched recvmmsg/sendmmsg cycle, "seq"
@@ -262,24 +285,37 @@ func run(cfg config) error {
 	if cfg.maxSPQ > 0 && !cfg.inprocess {
 		return fmt.Errorf("-max-syscalls-per-query needs -inprocess (remote server counters are unreachable)")
 	}
-	var targets []string
-	var grp *group
+	var targetsByGroup [][]string
+	var fl *fleet
 	if cfg.inprocess {
-		grp, err = startGroup(cfg.replicas, cfg.shards, cfg.lease, cfg.serveIO)
+		ngroups := cfg.fedGroups
+		if ngroups < 1 {
+			ngroups = 1
+		}
+		fl, err = startFleet(ngroups, cfg.replicas, cfg.shards, cfg.lease, cfg.serveIO)
 		if err != nil {
 			return err
 		}
-		defer grp.stop()
-		targets = grp.targets
+		defer fl.stop()
+		for _, g := range fl.groups {
+			targetsByGroup = append(targetsByGroup, g.targets)
+		}
 	} else {
+		if cfg.fedGroups > 1 {
+			return fmt.Errorf("-fed-groups needs -inprocess (remote groups are driven one at a time via -targets)")
+		}
 		if cfg.targets == "" {
 			return fmt.Errorf("-targets or -inprocess is required")
 		}
-		targets = strings.Split(cfg.targets, ",")
+		targetsByGroup = [][]string{strings.Split(cfg.targets, ",")}
+	}
+	ntargets := 0
+	for _, t := range targetsByGroup {
+		ntargets += len(t)
 	}
 
-	fmt.Printf("ctsload: %s loop, %d workers x %d datagram(s) x batch %d against %d target(s) for %v\n",
-		cfg.mode, cfg.workers, cfg.dgrams, cfg.batch, len(targets), cfg.duration)
+	fmt.Printf("ctsload: %s loop, %d workers x %d datagram(s) x batch %d against %d target(s) in %d group(s) for %v\n",
+		cfg.mode, cfg.workers, cfg.dgrams, cfg.batch, ntargets, len(targetsByGroup), cfg.duration)
 
 	chk := &checker{}
 	var (
@@ -291,8 +327,8 @@ func run(cfg config) error {
 		cliPaths = make([]string, cfg.workers)
 	)
 	baseSyscalls := uint64(0)
-	if grp != nil {
-		baseSyscalls = grp.syscalls()
+	if fl != nil {
+		baseSyscalls = fl.syscalls()
 	}
 	for w := 0; w < cfg.workers; w++ {
 		lats[w] = &stats.Durations{}
@@ -300,16 +336,31 @@ func run(cfg config) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cli, err := timeserve.NewClient(timeserve.ClientConfig{
-				Targets: rotated(targets, w),
-				Timeout: 250 * time.Millisecond,
-				IO:      ioMode,
-			})
-			if err != nil {
-				errs.Add(1)
-				return
+			// One client per replica group; the worker migrates across the
+			// groups every exchange, carrying the happened-before floors with
+			// it (the migrating-client pattern the federation must serve).
+			clis := make([]*timeserve.Client, len(targetsByGroup))
+			closeAll := func() {
+				for _, c := range clis {
+					if c != nil {
+						_ = c.Close() // worker teardown; sockets are going away
+					}
+				}
 			}
-			defer cli.Close()
+			for gi := range targetsByGroup {
+				cli, err := timeserve.NewClient(timeserve.ClientConfig{
+					Targets: rotated(targetsByGroup[gi], w),
+					Timeout: 250 * time.Millisecond,
+					IO:      ioMode,
+				})
+				if err != nil {
+					errs.Add(1)
+					closeAll()
+					return
+				}
+				clis[gi] = cli
+			}
+			defer closeAll()
 			interval := time.Duration(0)
 			if cfg.mode == "open" && cfg.rate > 0 {
 				perWorker := cfg.rate / float64(cfg.workers)
@@ -317,6 +368,7 @@ func run(cfg config) error {
 			}
 			next := time.Now()
 			var pre snapshot
+			gidx := w % len(clis)
 			for !stop.Load() {
 				if interval > 0 {
 					next = next.Add(interval)
@@ -324,6 +376,7 @@ func run(cfg config) error {
 						time.Sleep(d)
 					}
 				}
+				cli := clis[gidx]
 				chk.preSend(&pre)
 				t0 := time.Now()
 				var resps []timeserve.Response
@@ -347,11 +400,21 @@ func run(cfg config) error {
 						continue
 					}
 					served++
-					chk.onResponse(r, &pre)
+					chk.onResponse(uint32(gidx), r, &pre)
 				}
 				queries.Add(served)
+				gidx++
+				if gidx == len(clis) {
+					gidx = 0
+				}
 			}
-			cliPaths[w] = cli.IOPath()
+			path := "mmsg"
+			for _, c := range clis {
+				if c.IOPath() != "mmsg" {
+					path = "seq"
+				}
+			}
+			cliPaths[w] = path
 		}(w)
 	}
 
@@ -361,8 +424,8 @@ func run(cfg config) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 	syscallsPerQuery := -1.0
-	if grp != nil && queries.Load() > 0 {
-		syscallsPerQuery = float64(grp.syscalls()-baseSyscalls) / float64(queries.Load())
+	if fl != nil && queries.Load() > 0 {
+		syscallsPerQuery = float64(fl.syscalls()-baseSyscalls) / float64(queries.Load())
 	}
 
 	all := &stats.Durations{}
@@ -375,11 +438,14 @@ func run(cfg config) error {
 	res.Scenario = "timeserve-" + cfg.mode
 	res.Seed = cfg.seed
 	res.Mode = cfg.mode
-	res.Targets = len(targets)
+	res.Targets = ntargets
+	if len(targetsByGroup) > 1 {
+		res.FedGroups = len(targetsByGroup)
+	}
 	res.Workers = cfg.workers
 	res.Batch = cfg.batch
 	res.Dgrams = cfg.dgrams
-	res.BatchMode = batchMode(grp, cliPaths, cfg.dgrams)
+	res.BatchMode = batchMode(fl, cliPaths, cfg.dgrams)
 	res.DurationS = elapsed.Seconds()
 	res.Queries = queries.Load()
 	res.QPS = float64(res.Queries) / elapsed.Seconds()
@@ -440,10 +506,10 @@ func run(cfg config) error {
 // in-process servers' path, degraded to "seq" if any multi-datagram burst
 // client fell off the batched syscalls. With remote targets only the client
 // side is observable.
-func batchMode(grp *group, cliPaths []string, dgrams int) string {
+func batchMode(fl *fleet, cliPaths []string, dgrams int) string {
 	mode := "mmsg"
-	if grp != nil {
-		mode = grp.ioPath()
+	if fl != nil {
+		mode = fl.ioPath()
 	} else if !timeserve.MmsgSupported() {
 		mode = "seq"
 	}
@@ -485,6 +551,114 @@ func rotated(targets []string, w int) []string {
 	return out
 }
 
+// fleet is one or more in-process replica groups; with more than one they
+// are federated over loopback UDP summary links in a line topology.
+type fleet struct {
+	groups []*group
+	links  [][]*federation.UDPLink // [group][replica]; nil for a single group
+}
+
+// fedLoadGroupID maps a fleet group index to its wire group identifier.
+func fedLoadGroupID(gi int) cts.GroupID { return cts.DefaultGroup + cts.GroupID(gi) }
+
+// startFleet brings up ngroups in-process replica groups. With ngroups > 1
+// every node gets a federation summary link, groups are wired in a line
+// (group i peers with i±1), and the facade's WithFederation keeps the
+// inter-group skew bounded — which is what lets one worker migrate across
+// groups and still see its happened-before floors respected.
+func startFleet(ngroups, n, shards int, lease time.Duration, serveIO string) (*fleet, error) {
+	fl := &fleet{}
+	if ngroups > 1 {
+		for gi := 0; gi < ngroups; gi++ {
+			var row []*federation.UDPLink
+			for i := 0; i < n; i++ {
+				l, err := federation.NewUDPLink("127.0.0.1:0")
+				if err != nil {
+					fl.stop()
+					return nil, err
+				}
+				row = append(row, l)
+			}
+			fl.links = append(fl.links, row)
+		}
+	}
+	for gi := 0; gi < ngroups; gi++ {
+		var links []*federation.UDPLink
+		var neighbors []cts.GroupID
+		if fl.links != nil {
+			links = fl.links[gi]
+			if gi > 0 {
+				neighbors = append(neighbors, fedLoadGroupID(gi-1))
+			}
+			if gi < ngroups-1 {
+				neighbors = append(neighbors, fedLoadGroupID(gi+1))
+			}
+		}
+		g, err := startGroup(gi, n, shards, lease, serveIO, links, neighbors)
+		if err != nil {
+			fl.stop()
+			return nil, err
+		}
+		fl.groups = append(fl.groups, g)
+	}
+	for gi, row := range fl.links {
+		for _, l := range row {
+			for _, nb := range []int{gi - 1, gi + 1} {
+				if nb < 0 || nb >= ngroups {
+					continue
+				}
+				var addrs []string
+				for _, nl := range fl.links[nb] {
+					addrs = append(addrs, nl.LocalAddr())
+				}
+				if err := l.AddRoute(fedLoadGroupID(nb), addrs); err != nil {
+					fl.stop()
+					return nil, err
+				}
+			}
+		}
+	}
+	// Attach the receive sides only now that every agent exists; earlier
+	// frames are dropped, which the loss-tolerant exchange plane absorbs.
+	for gi, row := range fl.links {
+		for i, l := range row {
+			l.SetAgent(fl.groups[gi].svcs[i].Federation())
+		}
+	}
+	return fl, nil
+}
+
+// ioPath reports the fleet-wide serving I/O path: "mmsg" only while every
+// group's every frontend is on the batched cycle.
+func (f *fleet) ioPath() string {
+	for _, g := range f.groups {
+		if g.ioPath() != "mmsg" {
+			return "seq"
+		}
+	}
+	return "mmsg"
+}
+
+// syscalls sums the serving-side kernel I/O counters across all groups.
+func (f *fleet) syscalls() uint64 {
+	var n uint64
+	for _, g := range f.groups {
+		n += g.syscalls()
+	}
+	return n
+}
+
+func (f *fleet) stop() {
+	for _, g := range f.groups {
+		g.stop()
+	}
+	for _, row := range f.links {
+		for _, l := range row {
+			_ = l.Close() // teardown; the process is exiting
+		}
+	}
+}
+
 // group is an in-process replica group for self-contained load runs.
 type group struct {
 	svcs    []*cts.Service
@@ -517,8 +691,10 @@ func (g *group) syscalls() uint64 {
 
 // startGroup brings up n actively replicated ctsnode-equivalents on
 // loopback, each with the timeserve frontend on an ephemeral port, and
-// waits until every replica holds a lease.
-func startGroup(n, shards int, lease time.Duration, serveIO string) (*group, error) {
+// waits until every replica holds a lease. A non-nil links slice (one
+// summary link per replica) joins the group to a federation with the given
+// neighbor groups.
+func startGroup(gi, n, shards int, lease time.Duration, serveIO string, links []*federation.UDPLink, neighbors []cts.GroupID) (*group, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("-replicas must be at least 2, got %d", n)
 	}
@@ -549,17 +725,25 @@ func startGroup(n, shards int, lease time.Duration, serveIO string) (*group, err
 	for i, tr := range g.trs {
 		loop := sim.NewLoop()
 		g.loops = append(g.loops, loop)
-		svc, err := cts.New(
+		opts := []cts.Option{
 			cts.WithRuntime(loop),
 			cts.WithTransport(tr),
 			cts.WithRingMembers(ring),
+			cts.WithGroup(fedLoadGroupID(gi)),
 			cts.WithTimeServe(cts.TimeServeConfig{
 				Addr:        "127.0.0.1:0",
 				Shards:      shards,
 				LeaseWindow: lease,
 				ServeIO:     serveIO,
 			}),
-		)
+		}
+		if links != nil {
+			opts = append(opts, cts.WithFederation(cts.FederationConfig{
+				Link:      links[i],
+				Neighbors: neighbors,
+			}))
+		}
+		svc, err := cts.New(opts...)
 		if err != nil {
 			g.stop()
 			return nil, err
@@ -570,7 +754,6 @@ func startGroup(n, shards int, lease time.Duration, serveIO string) (*group, err
 		}
 		g.svcs = append(g.svcs, svc)
 		g.targets = append(g.targets, svc.TimeServeAddr())
-		_ = i
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for _, svc := range g.svcs {
@@ -585,8 +768,8 @@ func startGroup(n, shards int, lease time.Duration, serveIO string) (*group, err
 			time.Sleep(10 * time.Millisecond)
 		}
 	}
-	fmt.Printf("ctsload: in-process group up: %d replicas, targets %s\n",
-		len(g.targets), strings.Join(g.targets, ","))
+	fmt.Printf("ctsload: in-process group %d up: %d replicas, targets %s\n",
+		gi, len(g.targets), strings.Join(g.targets, ","))
 	return g, nil
 }
 

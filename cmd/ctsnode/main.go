@@ -16,6 +16,13 @@
 // the total-order protocol (totem or seq) and must agree across the group. Observability:
 // -v logs structured round/view lines, -trace FILE exports the CCS round
 // trace as JSON lines, and -metrics D dumps the stack-wide counters every D.
+//
+// Federation: -topology FILE -group NAME joins this replica's group to a
+// multi-group federation (DESIGN §12). The topology file names every group's
+// id, CCS peers and federation summary addresses plus the inter-group edges;
+// -peers may then be omitted (it defaults to this group's peer list from the
+// file). Federation summarizes the lease plane, so groups with neighbors
+// also need -serve.
 package main
 
 import (
@@ -24,10 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"cts"
+	"cts/internal/federation"
 	"cts/internal/sim"
 	"cts/internal/transport"
 	"cts/internal/udptransport"
@@ -48,12 +57,17 @@ func main() {
 		serveShards = flag.Int("serve-shards", 0, "timeserve listener shards (0 = default 1)")
 		serveIO     = flag.String("serve-io", "auto", "timeserve kernel I/O path: auto|seq|mmsg")
 		lease       = flag.Duration("lease", time.Second, "lease window for external reads between CCS rounds")
+
+		topoFile  = flag.String("topology", "", "federation topology JSON file (joins a multi-group federation; requires -group)")
+		groupName = flag.String("group", "", "this node's group name in the -topology file")
+		fedBind   = flag.String("fed-bind", "", "federation summary UDP bind address (default: this node's fed entry in the topology)")
 	)
 	flag.Parse()
 	if err := run(runConfig{
 		id: uint32(*id), peers: *peers, style: *style, orderer: *orderer, recovering: *recover,
 		verbose: *verbose, traceFile: *traceFile, metricsEvery: *metrics,
 		serve: *serve, serveShards: *serveShards, serveIO: *serveIO, lease: *lease,
+		topoFile: *topoFile, groupName: *groupName, fedBind: *fedBind,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctsnode:", err)
 		os.Exit(1)
@@ -74,6 +88,94 @@ type runConfig struct {
 	serveShards  int
 	serveIO      string
 	lease        time.Duration
+	topoFile     string
+	groupName    string
+	fedBind      string
+}
+
+// fedSetup is the resolved federation plane of a -topology run: the local
+// group's identity plus the bound link with its neighbor routes.
+type fedSetup struct {
+	group     cts.GroupID
+	peers     string // group's CCS peer list, for when -peers is omitted
+	neighbors []cts.GroupID
+	link      *federation.UDPLink
+	cfg       cts.FederationConfig
+}
+
+// setupFederation parses the topology file, resolves the local group and its
+// neighbors, binds the summary socket and installs the neighbor routes.
+// Loud by design: a group wired into the topology but missing addresses is a
+// configuration error, never a silently idle exchange plane.
+func setupFederation(rc runConfig) (*fedSetup, error) {
+	if rc.groupName == "" {
+		return nil, fmt.Errorf("-topology requires -group (which group this node belongs to)")
+	}
+	b, err := os.ReadFile(rc.topoFile)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := federation.ParseTopology(b)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := topo.Group(rc.groupName)
+	if !ok {
+		return nil, fmt.Errorf("group %q not found in %s", rc.groupName, rc.topoFile)
+	}
+	fs := &fedSetup{group: cts.GroupID(g.ID), peers: strings.Join(g.Peers, ",")}
+	neighbors := topo.Neighbors(rc.groupName)
+	if len(neighbors) == 0 {
+		return fs, nil // a solo group: valid, nothing to exchange
+	}
+	if rc.serve == "" {
+		return nil, fmt.Errorf("group %q has federation neighbors; -serve is required (summaries come from the lease plane)", g.Name)
+	}
+	bind := rc.fedBind
+	if bind == "" {
+		fedAddrs, err := federation.ParseMembers(g.Fed)
+		if err != nil {
+			return nil, fmt.Errorf("group %q fed addresses: %w", g.Name, err)
+		}
+		bind = fedAddrs[rc.id]
+	}
+	if bind == "" {
+		return nil, fmt.Errorf("no federation bind address for node %d of group %q: set -fed-bind or a fed entry in the topology", rc.id, g.Name)
+	}
+	link, err := federation.NewUDPLink(bind)
+	if err != nil {
+		return nil, err
+	}
+	for _, nb := range neighbors {
+		addrs, err := federation.ParseMembers(nb.Fed)
+		if err != nil || len(addrs) == 0 {
+			link.Close()
+			return nil, fmt.Errorf("neighbor group %q lists no usable fed addresses (%v)", nb.Name, err)
+		}
+		list := make([]string, 0, len(addrs))
+		for _, a := range addrs {
+			list = append(list, a)
+		}
+		sort.Strings(list)
+		if err := link.AddRoute(cts.GroupID(nb.ID), list); err != nil {
+			link.Close()
+			return nil, err
+		}
+		fs.neighbors = append(fs.neighbors, cts.GroupID(nb.ID))
+	}
+	fs.link = link
+	fs.cfg = cts.FederationConfig{
+		Link:          link,
+		Neighbors:     fs.neighbors,
+		ExchangeEvery: topo.ExchangeEvery(),
+		MaxStep:       topo.MaxStep(),
+		Precision:     topo.Precision(),
+		InitialSlack:  topo.InitialSlack(),
+	}
+	if topo.Key != "" {
+		fs.cfg.Key = []byte(topo.Key)
+	}
+	return fs, nil
 }
 
 // parsePeers parses "0=127.0.0.1:9000,1=..." into a node→address map.
@@ -117,6 +219,20 @@ func parseStyle(s string) (cts.Style, error) {
 
 func run(rc runConfig) error {
 	id, traceFile, metricsEvery := rc.id, rc.traceFile, rc.metricsEvery
+	var fed *fedSetup
+	if rc.topoFile != "" {
+		var err error
+		fed, err = setupFederation(rc)
+		if err != nil {
+			return err
+		}
+		if fed.link != nil {
+			defer fed.link.Close()
+		}
+		if rc.peers == "" {
+			rc.peers = fed.peers
+		}
+	}
 	peers, err := parsePeers(rc.peers)
 	if err != nil {
 		return err
@@ -199,6 +315,12 @@ func run(rc runConfig) error {
 		cts.WithRecovering(rc.recovering),
 		cts.WithObservability(rec),
 	}
+	if fed != nil {
+		opts = append(opts, cts.WithGroup(fed.group))
+		if fed.link != nil {
+			opts = append(opts, cts.WithFederation(fed.cfg))
+		}
+	}
 	if rc.serve != "" {
 		tsCfg := cts.TimeServeConfig{
 			Addr:        rc.serve,
@@ -243,11 +365,24 @@ func run(rc runConfig) error {
 	if err := svc.Start(); err != nil {
 		return err
 	}
+	group := cts.DefaultGroup
+	if fed != nil {
+		group = fed.group
+	}
 	logger.Log("up",
 		cts.F("node", id),
 		cts.F("style", style),
 		cts.F("ring", len(ring)),
-		cts.F("group", cts.DefaultGroup))
+		cts.F("group", group))
+	if fed != nil && fed.link != nil {
+		// Attach the receive side only now that the agent exists; frames
+		// arriving earlier are dropped, which the loss-tolerant exchange
+		// plane absorbs.
+		fed.link.SetAgent(svc.Federation())
+		logger.Log("federation",
+			cts.F("bind", fed.link.LocalAddr()),
+			cts.F("neighbors", len(fed.neighbors)))
+	}
 	if ts := svc.TimeServe(); ts != nil {
 		logger.Log("timeserve",
 			cts.F("addr", ts.Addr()),

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"cts/internal/core"
+	"cts/internal/federation"
 	"cts/internal/gcs"
 	"cts/internal/hwclock"
 	"cts/internal/obs"
@@ -117,7 +118,30 @@ type (
 	TimeServeClientConfig = timeserve.ClientConfig
 	// TimeServeReading is one reading returned to an external client.
 	TimeServeReading = timeserve.Reading
+
+	// FederationLink transmits inter-group summary frames (see
+	// WithFederation); federation.NewUDPLink is the deployment
+	// implementation.
+	FederationLink = federation.Link
+	// FederationAgent is one group member's inter-group exchange endpoint.
+	FederationAgent = federation.Agent
+	// FederationTopology is the parsed federation topology document
+	// (groups, edges, exchange tuning) consumed by ctsnode -topology.
+	FederationTopology = federation.Topology
 )
+
+// NewFederationUDPLink binds the federation exchange socket on bindAddr and
+// starts its receive loop. Wire received frames to the service's agent with
+// SetAgent(svc.Federation()) after Start.
+func NewFederationUDPLink(bindAddr string) (*federation.UDPLink, error) {
+	return federation.NewUDPLink(bindAddr)
+}
+
+// ParseFederationTopology decodes and validates a federation topology
+// document.
+func ParseFederationTopology(b []byte) (*FederationTopology, error) {
+	return federation.ParseTopology(b)
+}
 
 // NewTimeServeClient creates a client over the given replica timeserve
 // addresses.
@@ -206,6 +230,7 @@ type options struct {
 	onRound      func(RoundReport)
 
 	timeserve *TimeServeConfig
+	fed       *FederationConfig
 
 	order    order.Options
 	orderSet bool
@@ -341,6 +366,44 @@ func WithTimeServe(cfg TimeServeConfig) Option {
 	return func(o *options) { o.timeserve = &cfg }
 }
 
+// FederationConfig configures the inter-group federation plane enabled by
+// WithFederation. The local group identifier comes from WithGroup; the
+// summaries themselves come from the lease plane, so WithFederation requires
+// WithTimeServe (which owns the lease and its refresher).
+type FederationConfig struct {
+	// Link transmits summary frames toward neighbor groups. Required.
+	// For deployments use NewFederationUDPLink and, after Start, attach the
+	// receive side with link.SetAgent(svc.Federation()).
+	Link FederationLink
+	// Neighbors lists the adjacent groups' identifiers.
+	Neighbors []GroupID
+	// Key authenticates summary frames; every group of one federation must
+	// share it. Default "cts-federation".
+	Key []byte
+	// ExchangeEvery is the summary exchange cadence. Default 50ms.
+	ExchangeEvery time.Duration
+	// MaxStep bounds the forward nudge of one federated round. Default
+	// 500µs.
+	MaxStep time.Duration
+	// Precision is the inter-group transit uncertainty. Default 1ms.
+	Precision time.Duration
+	// InitialSlack pads published bounds until the first exchange. Default
+	// 10ms.
+	InitialSlack time.Duration
+	// AgingPPM is the slack growth rate between federated rounds. Default:
+	// the neighbors' bounded nudge rate plus a drift allowance.
+	AgingPPM float64
+}
+
+// WithFederation joins this group to an inter-group federation: Start spawns
+// the exchange agent, which periodically summarizes the group's lease to
+// every neighbor group and adopts bounded federated nudges when a neighbor
+// is confidently ahead. Published staleness bounds then also cover the
+// residual inter-group skew.
+func WithFederation(cfg FederationConfig) Option {
+	return func(o *options) { o.fed = &cfg }
+}
+
 // Service is one replica of a consistent-time server group.
 type Service struct {
 	mgr       *replication.Manager
@@ -349,11 +412,16 @@ type Service struct {
 	obs       *obs.Recorder
 	ownsStack bool
 
-	rt    sim.Runtime
-	tsCfg *TimeServeConfig
-	ts    *timeserve.Server
+	rt     sim.Runtime
+	clock  hwclock.Clock
+	group  wire.GroupID
+	tsCfg  *TimeServeConfig
+	ts     *timeserve.Server
+	fedCfg *FederationConfig
+	fed    *federation.Agent
 
 	refreshTimer sim.Canceler // loop-only
+	fedTimer     sim.Canceler // loop-only
 	refreshStop  atomic.Bool
 	stopped      atomic.Bool
 }
@@ -478,11 +546,22 @@ func New(opts ...Option) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.fed != nil {
+		if o.fed.Link == nil {
+			return nil, errors.New("cts: FederationConfig.Link is required")
+		}
+		if o.timeserve == nil {
+			return nil, errors.New("cts: WithFederation requires WithTimeServe (the lease plane supplies the summaries)")
+		}
+	}
 	dapp.svc = svc
 	s.mgr = mgr
 	s.svc = svc
 	s.rt = o.runtime
+	s.clock = o.clock
+	s.group = o.group
 	s.tsCfg = o.timeserve
+	s.fedCfg = o.fed
 	return s, nil
 }
 
@@ -503,7 +582,56 @@ func (s *Service) Start() error {
 			return err
 		}
 	}
+	if s.fedCfg != nil {
+		if err := s.startFederation(*s.fedCfg); err != nil {
+			s.Stop()
+			return err
+		}
+	}
 	return nil
+}
+
+// startFederation brings up the inter-group exchange plane of
+// WithFederation.
+func (s *Service) startFederation(cfg FederationConfig) error {
+	every := cfg.ExchangeEvery
+	if every == 0 {
+		every = 50 * time.Millisecond
+	}
+	node := uint32(s.stack.LocalID())
+	agent, err := federation.New(federation.Config{
+		Runtime:       s.rt,
+		Service:       s.svc,
+		Manager:       s.mgr,
+		Clock:         s.clock,
+		Link:          cfg.Link,
+		Group:         s.group,
+		Neighbors:     cfg.Neighbors,
+		Key:           cfg.Key,
+		ExchangeEvery: every,
+		MaxStep:       cfg.MaxStep,
+		Precision:     cfg.Precision,
+		InitialSlack:  cfg.InitialSlack,
+		AgingPPM:      cfg.AgingPPM,
+		Obs:           s.obs.ForNode(node),
+	})
+	if err != nil {
+		return err
+	}
+	s.fed = agent
+	agent.Start()
+	s.rt.Post(func() { s.fedTick(every) })
+	return nil
+}
+
+// fedTick drives the summary exchange cadence alongside the lease refresher.
+// Loop-only; the chain re-arms itself until Stop.
+func (s *Service) fedTick(every time.Duration) {
+	if s.refreshStop.Load() {
+		return
+	}
+	s.fed.ExchangeTick()
+	s.fedTimer = s.rt.After(every, func() { s.fedTick(every) })
 }
 
 // startTimeServe brings up the serving plane of WithTimeServe.
@@ -572,7 +700,13 @@ func (s *Service) Stop() {
 		if s.refreshTimer != nil {
 			s.refreshTimer.Cancel()
 		}
+		if s.fedTimer != nil {
+			s.fedTimer.Cancel()
+		}
 	})
+	if s.fed != nil {
+		s.fed.Stop()
+	}
 	if s.ts != nil {
 		_ = s.ts.Close() // sockets are going away with the process
 		s.ts = nil
@@ -586,6 +720,11 @@ func (s *Service) Stop() {
 // TimeServe exposes the serving frontend (nil without WithTimeServe or
 // before Start).
 func (s *Service) TimeServe() *TimeServeServer { return s.ts }
+
+// Federation exposes the inter-group exchange agent (nil without
+// WithFederation or before Start). Deployments attach the receive side of
+// their link to it: link.SetAgent(svc.Federation()).
+func (s *Service) Federation() *FederationAgent { return s.fed }
 
 // TimeServeAddr reports the frontend's bound UDP address ("" when not
 // serving). Useful with ":0".

@@ -127,8 +127,9 @@ func TestMatrixCells(t *testing.T) {
 		t.Fatalf("valid matrix rejected: %v", err)
 	}
 	want := []Cell{
-		{"a", 100, 1}, {"a", 100, 2}, {"a", 1000, 1}, {"a", 1000, 2},
-		{"b", 8, 1}, {"b", 8, 2},
+		{Scenario: "a", Nodes: 100, Seed: 1}, {Scenario: "a", Nodes: 100, Seed: 2},
+		{Scenario: "a", Nodes: 1000, Seed: 1}, {Scenario: "a", Nodes: 1000, Seed: 2},
+		{Scenario: "b", Nodes: 8, Seed: 1}, {Scenario: "b", Nodes: 8, Seed: 2},
 	}
 	if got := m.Cells(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("cells = %v, want %v", got, want)
@@ -144,6 +145,77 @@ func TestMatrixCells(t *testing.T) {
 	noSeeds.Seeds = nil
 	if err := noSeeds.Validate(); err == nil {
 		t.Fatal("matrix without seeds accepted")
+	}
+}
+
+// TestMatrixMaxNodes pins the anti-silent-cap contract: an axis count above
+// a scenario's MaxNodes is a validation error unless the scenario opts into
+// an explicit clamp, and a clamped cell records the requested size.
+func TestMatrixMaxNodes(t *testing.T) {
+	base := Scenario{Name: "capped", Duration: time.Second,
+		Gates: Gates{ReconvergeWithin: time.Millisecond}, MaxNodes: 50}
+	m := Matrix{Scenarios: []Scenario{base}, NodeCounts: []int{100}, Seeds: []int64{1}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("oversized count accepted without clamp_nodes")
+	}
+
+	clamped := m
+	clamped.Scenarios = []Scenario{func() Scenario { s := base; s.ClampNodes = true; return s }()}
+	clamped.NodeCounts = []int{10, 100, 1000}
+	if err := clamped.Validate(); err != nil {
+		t.Fatalf("clamping matrix rejected: %v", err)
+	}
+	want := []Cell{
+		{Scenario: "capped", Nodes: 10, Seed: 1},
+		// 100 and 1000 both clamp to 50; the duplicate cell is dropped.
+		{Scenario: "capped", Nodes: 50, Seed: 1, ClampedFrom: 100},
+	}
+	if got := clamped.Cells(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cells = %v, want %v", got, want)
+	}
+
+	bad := Scenario{Name: "bad", Duration: time.Second,
+		Gates: Gates{ReconvergeWithin: time.Millisecond}, ClampNodes: true}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("clamp_nodes without max_nodes accepted")
+	}
+}
+
+// TestBuiltinWireScenariosClampVisibly covers the regression this sweep
+// fixes: the builtin wire scenarios used to pin NodeCounts, silently running
+// 100 (or 8) nodes no matter what axis the user asked for. Now an oversized
+// axis clamps with the requested size recorded on the cell.
+func TestBuiltinWireScenariosClampVisibly(t *testing.T) {
+	m := BuiltinMatrix([]int{1000}, []int64{7})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("builtin matrix rejected: %v", err)
+	}
+	byName := make(map[string]Cell)
+	for _, c := range m.Cells() {
+		byName[c.Scenario] = c
+	}
+	for name, wantNodes := range map[string]int{
+		"partition-heal": 100, "asym-partition": 100, "partial-partition": 100,
+		"wan-bursts": 50, "token-cascade": 8,
+	} {
+		c, ok := byName[name]
+		if !ok {
+			t.Fatalf("builtin scenario %q missing from cells", name)
+		}
+		if c.Nodes != wantNodes || c.ClampedFrom != 1000 {
+			t.Fatalf("%s cell = %+v, want nodes=%d clamped_from=1000", name, c, wantNodes)
+		}
+	}
+	// Instant scenarios follow the axis unclamped.
+	if c := byName["churn-storm"]; c.Nodes != 1000 || c.ClampedFrom != 0 {
+		t.Fatalf("churn-storm cell = %+v, want nodes=1000 unclamped", c)
+	}
+	// Under the cap, wire scenarios run at the requested size.
+	small := BuiltinMatrix([]int{9}, []int64{7})
+	for _, c := range small.Cells() {
+		if c.Scenario == "partition-heal" && (c.Nodes != 9 || c.ClampedFrom != 0) {
+			t.Fatalf("under-cap cell = %+v, want nodes=9 unclamped", c)
+		}
 	}
 }
 

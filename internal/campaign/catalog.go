@@ -8,8 +8,12 @@ import (
 
 // Builtin returns the stock scenario catalog. Instant-orderer scenarios
 // (churn-storm, slow-clocks) scale to 1000 nodes; wire-orderer scenarios
-// model real network weather and pin their own node counts, since a
-// message-passing orderer at 1000 nodes is not what those cells measure.
+// model real network weather and cap their node counts (MaxNodes with an
+// explicit clamp), since a message-passing orderer at 1000 nodes is not what
+// those cells measure. Axis counts under the cap run as requested; counts
+// above it are clamped and the requested size is recorded in the cell, so
+// the reduced coverage is visible in the campaign artifacts rather than
+// silently pinned.
 func Builtin() []Scenario {
 	return []Scenario{
 		{
@@ -46,7 +50,8 @@ func Builtin() []Scenario {
 				{Kind: FaultPartition, At: 300 * time.Millisecond, For: 300 * time.Millisecond, Fraction: 0.3},
 			},
 			Gates:      Gates{ReconvergeWithin: 600 * time.Millisecond},
-			NodeCounts: []int{100},
+			MaxNodes:   100,
+			ClampNodes: true,
 			MeanDelay:  5 * time.Millisecond,
 		},
 		{
@@ -59,7 +64,8 @@ func Builtin() []Scenario {
 				{Kind: FaultAsymmetric, At: 300 * time.Millisecond, For: 250 * time.Millisecond, Fraction: 0.2},
 			},
 			Gates:      Gates{ReconvergeWithin: 700 * time.Millisecond},
-			NodeCounts: []int{100},
+			MaxNodes:   100,
+			ClampNodes: true,
 			MeanDelay:  5 * time.Millisecond,
 		},
 		{
@@ -72,7 +78,8 @@ func Builtin() []Scenario {
 				{Kind: FaultPartial, At: 300 * time.Millisecond, For: 300 * time.Millisecond, Fraction: 0.15},
 			},
 			Gates:      Gates{ReconvergeWithin: 600 * time.Millisecond},
-			NodeCounts: []int{100},
+			MaxNodes:   100,
+			ClampNodes: true,
 			MeanDelay:  5 * time.Millisecond,
 		},
 		{
@@ -88,7 +95,8 @@ func Builtin() []Scenario {
 					For: 300 * time.Millisecond, Gap: time.Second, Loss: 0.6},
 			},
 			Gates:      Gates{ReconvergeWithin: 8 * time.Second},
-			NodeCounts: []int{50},
+			MaxNodes:   50,
+			ClampNodes: true,
 			// 20 ms one-way plus a couple of resend cycles when a burst eats
 			// the first delivery.
 			MeanDelay: 60 * time.Millisecond,
@@ -115,14 +123,15 @@ func Builtin() []Scenario {
 					For: 5 * time.Millisecond, Gap: 150 * time.Millisecond, Loss: 1.0},
 			},
 			Gates:      Gates{ReconvergeWithin: 1200 * time.Millisecond},
-			NodeCounts: []int{8},
+			MaxNodes:   8,
+			ClampNodes: true,
 		},
 	}
 }
 
 // BuiltinMatrix is the stock sweep ctscampaign runs by default: every
-// builtin scenario over the matrix axis (instant scenarios) or its pinned
-// counts (wire scenarios).
+// builtin scenario over the matrix axis, clamped per scenario to its
+// MaxNodes cap (wire scenarios) with the clamp recorded in each cell.
 func BuiltinMatrix(nodeCounts []int, seeds []int64) Matrix {
 	return Matrix{Scenarios: Builtin(), NodeCounts: nodeCounts, Seeds: seeds}
 }

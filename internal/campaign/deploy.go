@@ -32,6 +32,7 @@ type node struct {
 	stack *gcs.Stack
 	mgr   *replication.Manager
 	svc   *core.TimeService
+	clock hwclock.Clock
 	// up tracks the fault schedule's intent: false while the node is
 	// crashed or isolated, so the monitor knows not to demand service
 	// from it.
@@ -46,7 +47,7 @@ func (nopApp) Invoke(*replication.Ctx, string, []byte) []byte { return nil }
 func (nopApp) Snapshot() []byte                               { return nil }
 func (nopApp) Restore([]byte)                                 {}
 
-// deployment is one running cell: n replicas on nodes 1..n.
+// deployment is one running cell: n replicas on nodes idBase+1..idBase+n.
 type deployment struct {
 	k       *sim.Kernel
 	net     *simnet.Network
@@ -55,15 +56,34 @@ type deployment struct {
 	hub     *order.InstantHub // nil for wire orderers
 	sc      Scenario
 	seed    int64
+	group   wire.GroupID
+	idBase  transport.NodeID
+	skew    time.Duration // added to every clock's phase offset
 	nodes   []*node
 	orderer order.Kind
 	// refreshOff rotates lease-refresh proposal duty across the population.
 	refreshOff int
 }
 
-// build constructs and starts a cell's deployment and waits for the group
-// to settle into a primary component.
+// build constructs and starts a cell's deployment on a fresh kernel and
+// waits for the group to settle into a primary component.
 func build(sc Scenario, nodes int, seed int64) (*deployment, error) {
+	k := sim.NewKernel(seed)
+	rec, err := obs.New(obs.Config{Now: k.Now})
+	if err != nil {
+		return nil, err
+	}
+	return buildOn(k, rec, sc, nodes, seed, ServerGroup, 0, 0)
+}
+
+// buildOn constructs a deployment on an existing kernel and recorder — the
+// substrate of federated cells, where several groups share one simulation.
+// Each group gets its own intra-group network; idBase keeps node ids (and
+// thus obs streams) disjoint across groups, and skew shifts the whole
+// group's hardware clocks, modelling federated sites whose clock planes
+// start apart.
+func buildOn(k *sim.Kernel, rec *obs.Recorder, sc Scenario, nodes int, seed int64,
+	group wire.GroupID, idBase transport.NodeID, skew time.Duration) (*deployment, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -78,20 +98,18 @@ func build(sc Scenario, nodes int, seed int64) (*deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	k := sim.NewKernel(seed)
 	d := &deployment{
 		k:       k,
 		net:     simnet.NewNetwork(k, model),
+		rec:     rec,
 		sc:      sc,
 		seed:    seed,
+		group:   group,
+		idBase:  idBase,
+		skew:    skew,
 		orderer: sc.orderer(),
 	}
 	d.inj = faultinject.New(k, d.net)
-	rec, err := obs.New(obs.Config{Now: k.Now})
-	if err != nil {
-		return nil, err
-	}
-	d.rec = rec
 	if d.orderer == order.KindInstant {
 		d.hub = order.NewInstantHub()
 	}
@@ -101,7 +119,7 @@ func build(sc Scenario, nodes int, seed int64) (*deployment, error) {
 
 	members := make([]transport.NodeID, nodes)
 	for i := range members {
-		members[i] = transport.NodeID(i + 1)
+		members[i] = idBase + transport.NodeID(i+1)
 	}
 	for i := 0; i < nodes; i++ {
 		if err := d.addNode(members[i], sc.Clocks.Spec(seed, i, nodes), members); err != nil {
@@ -140,11 +158,11 @@ func (d *deployment) addNode(id transport.NodeID, spec ClockSpec, members []tran
 	}
 	d.inj.Register(id, stack)
 	clock := hwclock.NewSim(d.k.Now,
-		hwclock.WithOffset(spec.Offset), hwclock.WithDriftPPM(spec.DriftPPM))
+		hwclock.WithOffset(spec.Offset+d.skew), hwclock.WithDriftPPM(spec.DriftPPM))
 	mgr, err := replication.New(replication.Config{
 		Runtime: d.k,
 		Stack:   stack,
-		Group:   ServerGroup,
+		Group:   d.group,
 		Style:   replication.Active,
 		App:     nopApp{},
 		Obs:     d.rec.ForNode(uint32(id)),
@@ -166,7 +184,7 @@ func (d *deployment) addNode(id transport.NodeID, spec ClockSpec, members []tran
 	if err := mgr.Start(); err != nil {
 		return err
 	}
-	d.nodes = append(d.nodes, &node{id: id, stack: stack, mgr: mgr, svc: svc, up: true})
+	d.nodes = append(d.nodes, &node{id: id, stack: stack, mgr: mgr, svc: svc, clock: clock, up: true})
 	return nil
 }
 

@@ -36,12 +36,16 @@ type Metrics struct {
 
 // Result is one completed cell.
 type Result struct {
-	Scenario string  `json:"scenario"`
-	Nodes    int     `json:"nodes"`
-	Seed     int64   `json:"seed"`
-	Orderer  string  `json:"orderer"`
-	Metrics  Metrics `json:"metrics"`
-	Pass     bool    `json:"pass"`
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Seed     int64  `json:"seed"`
+	// ClampedFrom is the originally requested node count when the
+	// scenario's MaxNodes cap clamped this cell (zero when it ran at the
+	// requested size). Recorded so clamped coverage never hides.
+	ClampedFrom int     `json:"clamped_from,omitempty"`
+	Orderer     string  `json:"orderer"`
+	Metrics     Metrics `json:"metrics"`
+	Pass        bool    `json:"pass"`
 	// Failures lists every gate the cell missed (empty when Pass).
 	Failures []string `json:"failures,omitempty"`
 }

@@ -126,8 +126,18 @@ type Scenario struct {
 	Faults      []FaultEvent  `json:"faults,omitempty"`
 	Gates       Gates         `json:"gates"`
 	// NodeCounts restricts this scenario to the given sizes, overriding the
-	// matrix-wide axis (wire-orderer scenarios cap lower than instant ones).
+	// matrix-wide axis.
 	NodeCounts []int `json:"node_counts,omitempty"`
+	// MaxNodes caps the cell size this scenario supports (wire orderers cap
+	// far lower than the instant oracle). An axis count above the cap is a
+	// matrix validation error, unless ClampNodes opts into an explicit clamp:
+	// the cell then runs at MaxNodes with the requested size recorded in its
+	// result (ClampedFrom). Never a silent cap: under-coverage is either
+	// rejected or visible in BENCH_campaign.json.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// ClampNodes opts oversized cells into an explicit recorded clamp
+	// instead of a validation error.
+	ClampNodes bool `json:"clamp_nodes,omitempty"`
 	// Seq and Totem tune the wire orderers; required for WAN cells whose
 	// timers must stretch with the link delay.
 	Seq   order.SeqTuning   `json:"seq,omitempty"`
@@ -201,6 +211,28 @@ func (s Scenario) Validate() error {
 	if end := s.lastFaultEnd(); end > 0 && end+s.Gates.ReconvergeWithin > s.Duration {
 		return fmt.Errorf("campaign: scenario %q: duration leaves no room for reconvergence gate", s.Name)
 	}
+	if s.MaxNodes < 0 {
+		return fmt.Errorf("campaign: scenario %q: max_nodes must be positive", s.Name)
+	}
+	if s.ClampNodes && s.MaxNodes == 0 {
+		return fmt.Errorf("campaign: scenario %q: clamp_nodes needs max_nodes", s.Name)
+	}
+	return nil
+}
+
+// checkCounts rejects cell sizes above MaxNodes unless the scenario opts
+// into an explicit clamp. This is the anti-silent-cap rule: a scenario must
+// either accept the requested size, clamp it visibly (ClampedFrom in the
+// cell and its result), or fail validation — never quietly run smaller.
+func (s Scenario) checkCounts(counts []int) error {
+	if s.MaxNodes == 0 || s.ClampNodes {
+		return nil
+	}
+	for _, n := range counts {
+		if n > s.MaxNodes {
+			return fmt.Errorf("campaign: scenario %q: %d nodes exceeds max_nodes %d (set clamp_nodes for an explicit recorded clamp, or lower the count)", s.Name, n, s.MaxNodes)
+		}
+	}
 	return nil
 }
 
@@ -216,6 +248,10 @@ type Cell struct {
 	Scenario string `json:"scenario"`
 	Nodes    int    `json:"nodes"`
 	Seed     int64  `json:"seed"`
+	// ClampedFrom records the originally requested node count when the
+	// scenario's MaxNodes clamped this cell (zero otherwise). It rides into
+	// the cell's Result so clamped coverage is visible in the artifacts.
+	ClampedFrom int `json:"clamped_from,omitempty"`
 }
 
 // Matrix is the declarative sweep: every scenario × node count × seed.
@@ -239,8 +275,15 @@ func (m Matrix) Validate() error {
 			return fmt.Errorf("campaign: duplicate scenario %q", sc.Name)
 		}
 		seen[sc.Name] = true
-		if len(sc.NodeCounts) == 0 && len(m.NodeCounts) == 0 {
+		counts := sc.NodeCounts
+		if len(counts) == 0 {
+			counts = m.NodeCounts
+		}
+		if len(counts) == 0 {
 			return fmt.Errorf("campaign: scenario %q has no node counts", sc.Name)
+		}
+		if err := sc.checkCounts(counts); err != nil {
+			return err
 		}
 	}
 	if len(m.Seeds) == 0 {
@@ -251,16 +294,36 @@ func (m Matrix) Validate() error {
 
 // Cells expands the matrix into its cells, scenario-major, in declaration
 // order — the sweep order is part of the campaign's determinism contract.
+// Counts above a clamping scenario's MaxNodes run at MaxNodes with
+// ClampedFrom set; when several axis counts clamp to the same size, only the
+// first (smallest requested) cell per seed survives — duplicates would just
+// rerun the identical deployment.
 func (m Matrix) Cells() []Cell {
 	var cells []Cell
+	type point struct {
+		scenario string
+		nodes    int
+		seed     int64
+	}
+	emitted := make(map[point]bool)
 	for _, sc := range m.Scenarios {
 		counts := sc.NodeCounts
 		if len(counts) == 0 {
 			counts = m.NodeCounts
 		}
 		for _, n := range counts {
+			clampedFrom := 0
+			if sc.ClampNodes && sc.MaxNodes > 0 && n > sc.MaxNodes {
+				clampedFrom = n
+				n = sc.MaxNodes
+			}
 			for _, seed := range m.Seeds {
-				cells = append(cells, Cell{Scenario: sc.Name, Nodes: n, Seed: seed})
+				p := point{sc.Name, n, seed}
+				if emitted[p] {
+					continue
+				}
+				emitted[p] = true
+				cells = append(cells, Cell{Scenario: sc.Name, Nodes: n, Seed: seed, ClampedFrom: clampedFrom})
 			}
 		}
 	}

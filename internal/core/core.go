@@ -166,6 +166,7 @@ type Stats struct {
 	BatchEntries      uint64 // rounds carried by those batch messages
 	SpecialRounds     uint64
 	MonotonicityFixes uint64 // defensive clamps (0 under fail-stop clocks)
+	FedCoalesced      uint64 // benign clamps of rounds overtaken by a federated nudge
 	TimersFired       uint64 // deterministic group-time timers fired
 }
 
@@ -237,6 +238,10 @@ type TimeService struct {
 
 	// Lease plane for external reads between CCS rounds (lease.go).
 	lease leaseState
+
+	// Inter-group federation: offset adoption as a special CCS round
+	// (federation.go).
+	fed fedState
 
 	stats Stats
 	obs   *obs.Recorder
@@ -375,6 +380,10 @@ func (s *TimeService) onCCS(msg wire.Message, meta gcs.Meta) {
 		s.onCCSBatch(msg, meta)
 		return
 	}
+	if msg.Type == wire.TypeCCSFed {
+		s.onCCSFed(msg, meta)
+		return
+	}
 	p, err := wire.UnmarshalCCS(msg.Payload)
 	if err != nil {
 		return
@@ -474,7 +483,15 @@ func (s *TimeService) deliverToHandler(h *ccsHandler, round uint64, rm roundMsg)
 // value) is applied identically everywhere.
 func (s *TimeService) guardMonotone(grp time.Duration) time.Duration {
 	if grp < s.lastGroup {
-		s.stats.MonotonicityFixes++
+		// A round proposed before the last federated nudge and delivered
+		// after it decides a pre-nudge value: at or above the clamp floor
+		// (the clock just before that adoption). The group moved forward
+		// under it — a coalesce, not a broken clock.
+		if s.fed.enabled && s.fed.adoptions > 0 && grp >= s.fed.clampFloor {
+			s.stats.FedCoalesced++
+		} else {
+			s.stats.MonotonicityFixes++
+		}
 		return s.lastGroup
 	}
 	s.lastGroup = grp
@@ -585,7 +602,7 @@ func (s *TimeService) ObsSamples() []obs.Sample {
 		{Node: id, Name: "core.special_rounds", Value: s.stats.SpecialRounds},
 		{Node: id, Name: "core.monotonicity_fixes", Value: s.stats.MonotonicityFixes},
 		{Node: id, Name: "core.timers_fired", Value: s.stats.TimersFired},
-	}, s.leaseObsSamples(id)...)
+	}, append(s.leaseObsSamples(id), s.fedObsSamples(id)...)...)
 }
 
 // Clock is the interposition facade standing in for the clock-related

@@ -80,6 +80,14 @@ type leaseSnapshot struct {
 	validUntil time.Duration // physical-clock expiry of the lease
 	driftPPM   float64
 	margin     time.Duration // granularity + compensation slack
+	// fedPPM ages the federation slack between publishes: neighbor groups
+	// keep advancing (bounded nudges plus drift), so a served bound keeps
+	// growing at this extra rate until a fresh adoption republishes
+	// (federation.go). Zero when federation is off.
+	fedPPM float64
+	// fedAt is the federation slack folded into margin at publish, kept
+	// separately so LeaseReadIntra can strip the inter-group terms.
+	fedAt time.Duration
 }
 
 // leaseState is the TimeService's lease plane. snap and floor are the only
@@ -180,13 +188,20 @@ func (s *TimeService) publishLease(grp, physical time.Duration) {
 		return
 	}
 	s.lease.published++
+	var fedPPM float64
+	if s.fed.enabled {
+		fedPPM = s.fed.agingPPM
+	}
+	fedAt := s.fedSlackAt(physical)
 	s.lease.snap.Store(&leaseSnapshot{
 		epoch:      s.lease.epoch,
 		groupAt:    grp,
 		physAt:     physical,
 		validUntil: physical + s.lease.cfg.Window,
 		driftPPM:   s.lease.drift,
-		margin:     s.lease.margin + s.lease.lagEst,
+		margin:     s.lease.margin + s.lease.lagEst + fedAt,
+		fedPPM:     fedPPM,
+		fedAt:      fedAt,
 	})
 }
 
@@ -229,7 +244,7 @@ func (s *TimeService) LeaseRead() (LeaseReading, bool) {
 	}
 	elapsed := phys - snap.physAt
 	g := snap.groupAt + elapsed
-	bound := snap.margin + time.Duration(float64(elapsed)*snap.driftPPM/1e6)
+	bound := snap.margin + time.Duration(float64(elapsed)*(snap.driftPPM+snap.fedPPM)/1e6)
 	for {
 		prev := s.lease.floor.Load()
 		if int64(g) <= prev {
@@ -242,6 +257,29 @@ func (s *TimeService) LeaseRead() (LeaseReading, bool) {
 		}
 	}
 	return LeaseReading{GroupClock: g, Bound: bound, Epoch: snap.epoch}, true
+}
+
+// LeaseReadIntra answers one read with the inter-group terms stripped: the
+// uncertainty of this group's own clock (quantization, drift, ordering lag),
+// excluding the federation slack and its aging. This is what a federation
+// summary must carry — a summary quoting the full client-facing bound would
+// count the neighbor's own inter-group slack against the merge rule, which
+// could then never find a neighbor "confidently ahead" and never converge.
+// Unlike LeaseRead it does not fold the served floor (summaries are
+// estimates between groups, not client-visible reads). Safe from any
+// goroutine.
+func (s *TimeService) LeaseReadIntra() (LeaseReading, bool) {
+	snap := s.lease.snap.Load()
+	if snap == nil {
+		return LeaseReading{}, false
+	}
+	phys := s.clock.Read()
+	if phys > snap.validUntil || phys < snap.physAt {
+		return LeaseReading{}, false
+	}
+	elapsed := phys - snap.physAt
+	bound := snap.margin - snap.fedAt + time.Duration(float64(elapsed)*snap.driftPPM/1e6)
+	return LeaseReading{GroupClock: snap.groupAt + elapsed, Bound: bound, Epoch: snap.epoch}, true
 }
 
 // RefreshLease starts a lease refresh CCS round unless one is already in

@@ -101,6 +101,37 @@ func (s *TimeService) restoreFromCheckpoint(extra []byte) {
 			delete(s.special.buffer, r)
 		}
 	}
+	// The federated round counter is restored like the refresh counter: a
+	// joiner that starts at zero would treat an old federated round as new
+	// and re-adopt its stale value (clamped by the monotone guard, but
+	// counted as a defensive fix a healthy run must not need).
+	if st.fedRound > s.fed.handler.round {
+		s.fed.handler.round = st.fedRound
+	}
+	// The donor's federation slack is adopted too, anchored conservatively
+	// at the start of recovery (at or before the donor captured it), so the
+	// joiner's published bound stays honest about inter-group skew from its
+	// very first lease instead of waiting one exchange interval blind.
+	if st.fedSlack > 0 {
+		anchor := s.clock.Read()
+		if s.joinLagDue && s.recoveryStart < anchor {
+			anchor = s.recoveryStart
+		}
+		if s.fed.enabled {
+			aged := st.fedSlack + s.fedAgingOver(s.clock.Read()-anchor)
+			// Real information replaces a blind InitialSlack pad outright;
+			// against an informed anchor, keep the wider projection.
+			if !s.fed.anchored || aged > s.fedSlackAt(s.clock.Read()) {
+				s.fed.slack = st.fedSlack
+				s.fed.anchor = anchor
+				s.fed.anchored = true
+			}
+		} else {
+			s.fed.restored = st.fedSlack
+			s.fed.restoredAnchor = anchor
+			s.fed.haveRestored = true
+		}
+	}
 	for tid, round := range st.threadRounds {
 		if tid == RefreshThreadID {
 			if round > s.lease.refresh.round {
@@ -155,10 +186,15 @@ func (s *TimeService) restoreFromCheckpoint(extra []byte) {
 	}
 }
 
-// ccsState is the time service's contribution to a checkpoint.
+// ccsState is the time service's contribution to a checkpoint. fedRound and
+// fedSlack carry the federation handler's counter and the projected
+// federation slack at capture time (federation.go); both are zero when
+// federation is off.
 type ccsState struct {
 	specialRound uint64
 	groupClock   time.Duration
+	fedRound     uint64
+	fedSlack     time.Duration
 	threadRounds map[uint64]uint64
 }
 
@@ -190,11 +226,17 @@ func (s *TimeService) encodeState() []byte {
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 
-	buf := make([]byte, 8+8+4+16*len(tids))
+	var fedSlack time.Duration
+	if s.fed.enabled {
+		fedSlack = s.fedSlackAt(s.clock.Read())
+	}
+	buf := make([]byte, 8+8+8+8+4+16*len(tids))
 	binary.BigEndian.PutUint64(buf[0:], s.special.round)
 	binary.BigEndian.PutUint64(buf[8:], uint64(s.lastGroup))
-	binary.BigEndian.PutUint32(buf[16:], uint32(len(tids)))
-	off := 20
+	binary.BigEndian.PutUint64(buf[16:], s.fed.handler.round)
+	binary.BigEndian.PutUint64(buf[24:], uint64(fedSlack))
+	binary.BigEndian.PutUint32(buf[32:], uint32(len(tids)))
+	off := 36
 	for _, tid := range tids {
 		binary.BigEndian.PutUint64(buf[off:], tid)
 		binary.BigEndian.PutUint64(buf[off+8:], rounds[tid])
@@ -205,16 +247,18 @@ func (s *TimeService) encodeState() []byte {
 
 func decodeState(b []byte) (ccsState, error) {
 	st := ccsState{threadRounds: make(map[uint64]uint64)}
-	if len(b) < 20 {
+	if len(b) < 36 {
 		return st, wire.ErrShortMessage
 	}
 	st.specialRound = binary.BigEndian.Uint64(b[0:])
 	st.groupClock = time.Duration(binary.BigEndian.Uint64(b[8:]))
-	n := binary.BigEndian.Uint32(b[16:])
-	if len(b) != 20+16*int(n) {
+	st.fedRound = binary.BigEndian.Uint64(b[16:])
+	st.fedSlack = time.Duration(binary.BigEndian.Uint64(b[24:]))
+	n := binary.BigEndian.Uint32(b[32:])
+	if len(b) != 36+16*int(n) {
 		return st, wire.ErrTruncated
 	}
-	off := 20
+	off := 36
 	for i := uint32(0); i < n; i++ {
 		tid := binary.BigEndian.Uint64(b[off:])
 		st.threadRounds[tid] = binary.BigEndian.Uint64(b[off+8:])

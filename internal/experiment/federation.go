@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"cts/internal/campaign"
+)
+
+// ---------------------------------------------------------------------------
+// E17 — federation: inter-group seam skew vs group count, plus sever/heal.
+// ---------------------------------------------------------------------------
+
+// FederationSweepResult holds the federated campaign cells of E17: the
+// builtin line topologies at 2, 4 and 8 groups (the skew-vs-group-count
+// series) and the all-edges sever/heal cell. Every cell self-gates — zero
+// regressions, zero cross-group staleness violations, zero monotonicity
+// fixes, seams consistent and converged under the skew ceiling.
+type FederationSweepResult struct {
+	Seed  int64
+	Cells []campaign.FedResult
+}
+
+// RunFederationSweep runs every builtin federated spec at the given seed.
+func RunFederationSweep(seed int64) (*FederationSweepResult, error) {
+	res := &FederationSweepResult{Seed: seed}
+	for _, spec := range campaign.BuiltinFederation() {
+		cell, err := campaign.RunFederated(spec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("federation %s: %w", spec.Name, err)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// Gate reports an error when any federated cell missed its gates.
+func (r *FederationSweepResult) Gate() error {
+	var fails []string
+	for _, c := range r.Cells {
+		if !c.Pass {
+			fails = append(fails, fmt.Sprintf("%s: %s", c.Name, strings.Join(c.Failures, "; ")))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d federated cell(s) failed: %s", len(fails), strings.Join(fails, " | "))
+	}
+	return nil
+}
+
+// Render formats the sweep as the E17 table.
+func (r *FederationSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E17 — multi-group federation: seam skew vs group count (seed %d)\n", r.Seed)
+	fmt.Fprintf(&b, "  %-14s %-7s %-6s %-14s %-14s %-12s %-10s %s\n",
+		"cell", "groups", "pass", "final skew µs", "max bound µs", "reconv ms", "nudges", "violations(st/reg/mono/seam)")
+	for _, c := range r.Cells {
+		m := c.Metrics
+		fmt.Fprintf(&b, "  %-14s %-7d %-6t %-14.0f %-14.0f %-12.1f %-10d %d/%d/%d/%d\n",
+			c.Name, c.Groups, c.Pass, m.FinalSeamSkewUS, m.MaxBoundUS, m.ReconvergeMS,
+			m.Nudges, m.StalenessViolations, m.Regressions, m.MonotonicityFixes, m.SeamViolations)
+		for _, f := range c.Failures {
+			fmt.Fprintf(&b, "      gate: %s\n", f)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,9 @@
+package federation
+
+import (
+	"testing"
+
+	"cts/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.Main(m) }

@@ -1,0 +1,95 @@
+package federation
+
+import (
+	"time"
+
+	"cts/internal/sim"
+	"cts/internal/wire"
+)
+
+// SimFabric is the simulated inter-group exchange plane: a mesh of severable
+// links over a discrete-event kernel. Campaigns and tests register every
+// group's agents, hand each group's agent a Link view of the fabric, and
+// sever/heal edges to model WAN partitions.
+//
+// All methods are loop-only: every registered agent must run on the fabric's
+// kernel, so sends, deliveries and SetDown calls all execute on the one
+// event loop and need no locking — the same confinement discipline as the
+// rest of the simulation stack.
+type SimFabric struct {
+	k      *sim.Kernel
+	delay  time.Duration
+	agents map[wire.GroupID][]*Agent
+	groups []wire.GroupID // registration order, for deterministic iteration
+	down   map[[2]wire.GroupID]bool
+
+	// Delivered and Dropped count frames forwarded and frames discarded on a
+	// severed link.
+	Delivered uint64
+	Dropped   uint64
+}
+
+// NewSimFabric creates a fabric with the given one-way summary transit delay.
+func NewSimFabric(k *sim.Kernel, delay time.Duration) *SimFabric {
+	return &SimFabric{
+		k:      k,
+		delay:  delay,
+		agents: make(map[wire.GroupID][]*Agent),
+		down:   make(map[[2]wire.GroupID]bool),
+	}
+}
+
+// Register adds one group member's agent as a delivery target for frames
+// addressed to group.
+func (f *SimFabric) Register(group wire.GroupID, a *Agent) {
+	if _, ok := f.agents[group]; !ok {
+		f.groups = append(f.groups, group)
+	}
+	f.agents[group] = append(f.agents[group], a)
+}
+
+// Link returns the fabric as seen from src: a Link whose sends traverse the
+// src→dst edge (and are dropped while it is severed).
+func (f *SimFabric) Link(src wire.GroupID) Link {
+	return fabricPort{f: f, src: src}
+}
+
+// SetDown severs (or heals) the edge between groups a and b, both directions.
+func (f *SimFabric) SetDown(a, b wire.GroupID, down bool) {
+	f.down[edgeKey(a, b)] = down
+}
+
+func edgeKey(a, b wire.GroupID) [2]wire.GroupID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]wire.GroupID{a, b}
+}
+
+type fabricPort struct {
+	f   *SimFabric
+	src wire.GroupID
+}
+
+func (p fabricPort) Send(dst wire.GroupID, frame []byte) {
+	f := p.f
+	if f.down[edgeKey(p.src, dst)] {
+		f.Dropped++
+		return
+	}
+	targets := f.agents[dst]
+	if len(targets) == 0 {
+		f.Dropped++
+		return
+	}
+	f.Delivered++
+	// Copy once: Deliver copies again per agent, but the sender may reuse its
+	// buffer before the delayed delivery fires.
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	f.k.After(f.delay, func() {
+		for _, a := range targets {
+			a.Deliver(buf)
+		}
+	})
+}

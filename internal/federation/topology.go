@@ -1,0 +1,244 @@
+// Package federation stitches multiple CCS groups into one coherent clock.
+//
+// Each group runs the paper's consistent clock synchronization internally,
+// exactly as before; a thin inter-group plane periodically exchanges
+// authenticated (group_clock, bound, epoch) summaries with parent/peer
+// groups (wire.GroupSummary) and applies a bounded-influence merge rule:
+// when a neighbor group is confidently ahead, the local group proposes a
+// federated CCS round (wire.TypeCCSFed) that nudges the whole group forward
+// by at most MaxStep, and every round carries a slack term that keeps the
+// published staleness bound honest about the residual inter-group skew. This
+// follows the gradient clock synchronization line of work: the invariant
+// maintained is bounded *neighbor* skew, which is what a tree of timeserve
+// shards needs — global skew grows only with topology diameter.
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cts/internal/wire"
+)
+
+// GroupSpec describes one CCS group in a federation topology file.
+type GroupSpec struct {
+	// Name is the group's human identifier, referenced by Edges and by
+	// `ctsnode -group`.
+	Name string `json:"name"`
+	// ID is the wire group identifier. Must be unique and non-zero.
+	ID uint32 `json:"id"`
+	// Peers lists the group's members as "id=host:port" entries — the same
+	// syntax as `ctsnode -peers` — naming each member's CCS transport
+	// address.
+	Peers []string `json:"peers"`
+	// Fed lists each member's federation UDP address as "id=host:port"
+	// entries. Summaries for this group are sent to every listed address.
+	Fed []string `json:"fed,omitempty"`
+}
+
+// Topology is the JSON schema of a federation topology file: the groups, the
+// parent/peer edges between them, and the exchange-plane tuning shared by
+// every agent.
+type Topology struct {
+	Groups []GroupSpec `json:"groups"`
+	// Edges connects groups by name; each edge is bidirectional.
+	Edges [][2]string `json:"edges"`
+	// Key authenticates summary frames. Every group in one federation must
+	// share it.
+	Key string `json:"key,omitempty"`
+	// ExchangeEveryNS is the summary exchange interval. Default 50ms.
+	ExchangeEveryNS int64 `json:"exchange_every_ns,omitempty"`
+	// MaxStepNS bounds the forward nudge one federated round may apply.
+	// Default 500µs.
+	MaxStepNS int64 `json:"max_step_ns,omitempty"`
+	// PrecisionNS is the inter-group transit uncertainty added to every
+	// merge computation and slack term. Default 1ms.
+	PrecisionNS int64 `json:"precision_ns,omitempty"`
+	// InitialSlackNS pads published bounds until the first exchange; it must
+	// cover the worst plausible initial inter-group offset. Default 10ms.
+	InitialSlackNS int64 `json:"initial_slack_ns,omitempty"`
+}
+
+// ParseTopology decodes and validates a topology document.
+func ParseTopology(b []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("federation: parse topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Validate checks the topology for structural errors.
+func (t *Topology) Validate() error {
+	if len(t.Groups) == 0 {
+		return fmt.Errorf("federation: topology has no groups")
+	}
+	names := make(map[string]bool, len(t.Groups))
+	ids := make(map[uint32]bool, len(t.Groups))
+	for i, g := range t.Groups {
+		if g.Name == "" {
+			return fmt.Errorf("federation: group %d has no name", i)
+		}
+		if names[g.Name] {
+			return fmt.Errorf("federation: duplicate group name %q", g.Name)
+		}
+		names[g.Name] = true
+		if g.ID == 0 {
+			return fmt.Errorf("federation: group %q has no id", g.Name)
+		}
+		if ids[g.ID] {
+			return fmt.Errorf("federation: duplicate group id %d", g.ID)
+		}
+		ids[g.ID] = true
+		if len(g.Peers) == 0 {
+			return fmt.Errorf("federation: group %q lists no peers", g.Name)
+		}
+		if _, err := ParseMembers(g.Peers); err != nil {
+			return fmt.Errorf("federation: group %q peers: %w", g.Name, err)
+		}
+		if len(g.Fed) > 0 {
+			if _, err := ParseMembers(g.Fed); err != nil {
+				return fmt.Errorf("federation: group %q fed: %w", g.Name, err)
+			}
+		}
+	}
+	seen := make(map[[2]string]bool, len(t.Edges))
+	for _, e := range t.Edges {
+		if e[0] == e[1] {
+			return fmt.Errorf("federation: self edge on group %q", e[0])
+		}
+		for _, n := range []string{e[0], e[1]} {
+			if !names[n] {
+				return fmt.Errorf("federation: edge references unknown group %q", n)
+			}
+		}
+		k := normalizeEdge(e[0], e[1])
+		if seen[k] {
+			return fmt.Errorf("federation: duplicate edge %v", e)
+		}
+		seen[k] = true
+	}
+	for _, d := range []struct {
+		name string
+		v    int64
+	}{
+		{"exchange_every_ns", t.ExchangeEveryNS},
+		{"max_step_ns", t.MaxStepNS},
+		{"precision_ns", t.PrecisionNS},
+		{"initial_slack_ns", t.InitialSlackNS},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("federation: %s must not be negative (got %d)", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+func normalizeEdge(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Group returns the spec for the named group.
+func (t *Topology) Group(name string) (GroupSpec, bool) {
+	for _, g := range t.Groups {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GroupSpec{}, false
+}
+
+// Neighbors returns the groups adjacent to name, sorted by name.
+func (t *Topology) Neighbors(name string) []GroupSpec {
+	var out []GroupSpec
+	for _, e := range t.Edges {
+		var other string
+		switch name {
+		case e[0]:
+			other = e[1]
+		case e[1]:
+			other = e[0]
+		default:
+			continue
+		}
+		if g, ok := t.Group(other); ok {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ExchangeEvery returns the exchange interval with its default applied.
+func (t *Topology) ExchangeEvery() time.Duration {
+	if t.ExchangeEveryNS > 0 {
+		return time.Duration(t.ExchangeEveryNS)
+	}
+	return 50 * time.Millisecond
+}
+
+// MaxStep returns the per-round nudge bound with its default applied.
+func (t *Topology) MaxStep() time.Duration {
+	if t.MaxStepNS > 0 {
+		return time.Duration(t.MaxStepNS)
+	}
+	return 500 * time.Microsecond
+}
+
+// Precision returns the inter-group transit uncertainty with its default
+// applied.
+func (t *Topology) Precision() time.Duration {
+	if t.PrecisionNS > 0 {
+		return time.Duration(t.PrecisionNS)
+	}
+	return time.Millisecond
+}
+
+// InitialSlack returns the pre-exchange bound padding with its default
+// applied.
+func (t *Topology) InitialSlack() time.Duration {
+	if t.InitialSlackNS > 0 {
+		return time.Duration(t.InitialSlackNS)
+	}
+	return 10 * time.Millisecond
+}
+
+// ParseMembers parses "id=host:port" entries (the `ctsnode -peers` syntax)
+// into an id-to-address map.
+func ParseMembers(entries []string) (map[uint32]string, error) {
+	out := make(map[uint32]string, len(entries))
+	for _, e := range entries {
+		id, addr, ok := strings.Cut(e, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not id=host:port", e)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(id), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: bad node id: %v", e, err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("entry %q: node id must be positive", e)
+		}
+		if _, dup := out[uint32(n)]; dup {
+			return nil, fmt.Errorf("entry %q: duplicate node id", e)
+		}
+		out[uint32(n)] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}
+
+// GroupIDOf is a convenience for callers holding a name.
+func (t *Topology) GroupIDOf(name string) (wire.GroupID, bool) {
+	g, ok := t.Group(name)
+	return wire.GroupID(g.ID), ok
+}

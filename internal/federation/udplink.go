@@ -1,0 +1,147 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cts/internal/wire"
+)
+
+// UDPLink is the deployment exchange plane: one small UDP socket per node
+// carrying authenticated summary frames between groups. Frames for a
+// neighbor group are sent to every member address listed for it, so duty
+// rotation on the receiving side never depends on which member is up.
+type UDPLink struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	routes map[wire.GroupID][]*net.UDPAddr // group id → member summary addresses
+	agent  *Agent
+	closed bool
+
+	readErrors atomic.Uint64
+	sendErrors atomic.Uint64
+
+	done chan struct{}
+}
+
+// summary frames are tiny (58 bytes today); the buffer leaves headroom for
+// future wire versions without reallocation.
+const maxSummaryDatagram = 512
+
+// NewUDPLink binds the federation socket on bindAddr (e.g. ":4470",
+// "127.0.0.1:0") and starts the receive loop. Received frames are discarded
+// until SetAgent attaches a consumer.
+func NewUDPLink(bindAddr string) (*UDPLink, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: resolve %q: %w", bindAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: listen %q: %w", bindAddr, err)
+	}
+	l := &UDPLink{
+		conn:   conn,
+		routes: make(map[wire.GroupID][]*net.UDPAddr),
+		done:   make(chan struct{}),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// LocalAddr reports the bound socket address (useful when binding port 0).
+func (l *UDPLink) LocalAddr() string { return l.conn.LocalAddr().String() }
+
+// SetAgent attaches the consumer of received frames.
+func (l *UDPLink) SetAgent(a *Agent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.agent = a
+}
+
+// AddRoute registers the summary addresses of a neighbor group's members.
+func (l *UDPLink) AddRoute(group wire.GroupID, addrs []string) error {
+	resolved := make([]*net.UDPAddr, 0, len(addrs))
+	for _, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("federation: resolve route %q for group %d: %w", a, group, err)
+		}
+		resolved = append(resolved, ua)
+	}
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i].String() < resolved[j].String() })
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.routes[group] = resolved
+	return nil
+}
+
+// Send implements Link: best-effort transmission of frame to every member
+// address registered for dst. Unroutable groups and socket errors only bump
+// the error counter — the exchange plane is loss-tolerant by design.
+func (l *UDPLink) Send(dst wire.GroupID, frame []byte) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	addrs := l.routes[dst]
+	l.mu.Unlock()
+	if len(addrs) == 0 {
+		l.sendErrors.Add(1)
+		return
+	}
+	for _, a := range addrs {
+		if _, err := l.conn.WriteToUDP(frame, a); err != nil {
+			l.sendErrors.Add(1)
+		}
+	}
+}
+
+// Errors reports the transient receive and send failure counts.
+func (l *UDPLink) Errors() (read, send uint64) {
+	return l.readErrors.Load(), l.sendErrors.Load()
+}
+
+// Close stops the read loop and waits for it to exit.
+func (l *UDPLink) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	err := l.conn.Close()
+	<-l.done
+	return err
+}
+
+func (l *UDPLink) readLoop() {
+	defer close(l.done)
+	buf := make([]byte, maxSummaryDatagram)
+	for {
+		n, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // Close tore down the socket; end the loop
+			}
+			// Transient receive failure: count it and keep serving — one bad
+			// datagram must not silence the exchange plane for good.
+			l.readErrors.Add(1)
+			continue
+		}
+		l.mu.Lock()
+		agent := l.agent
+		l.mu.Unlock()
+		if agent != nil {
+			agent.Deliver(buf[:n]) // Deliver copies the frame
+		}
+	}
+}

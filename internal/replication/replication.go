@@ -294,8 +294,9 @@ func (m *Manager) Stop() {
 	})
 }
 
-// SetCCSHandler routes delivered CCS messages (wire.TypeCCS and
-// wire.TypeCCSBatch) to the consistent time service. Loop-only.
+// SetCCSHandler routes delivered CCS messages (wire.TypeCCS,
+// wire.TypeCCSBatch and wire.TypeCCSFed) to the consistent time service.
+// Loop-only.
 func (m *Manager) SetCCSHandler(h func(wire.Message, gcs.Meta)) { m.ccsHandler = h }
 
 // SetCheckpointHooks installs the consistent time service's checkpoint
@@ -422,7 +423,7 @@ func (m *Manager) onView(v gcs.GroupView) {
 
 func (m *Manager) onMsg(msg wire.Message, meta gcs.Meta) {
 	switch msg.Type {
-	case wire.TypeCCS, wire.TypeCCSBatch:
+	case wire.TypeCCS, wire.TypeCCSBatch, wire.TypeCCSFed:
 		if m.ccsHandler != nil {
 			m.ccsHandler(msg, meta)
 		}

@@ -1,0 +1,131 @@
+package wire
+
+// Inter-group federation messages. Two codecs live here:
+//
+//   - CCSFedPayload rides the ordinary totally-ordered CCS machinery inside
+//     one group (wire.TypeCCSFed): a federated offset-adoption round whose
+//     decided value nudges the whole group's clock toward its neighbors and
+//     whose slack term keeps every member's published staleness bound honest
+//     about the residual inter-group skew.
+//
+//   - GroupSummary travels BETWEEN groups as a standalone authenticated UDP
+//     frame: the sending group's current (group_clock, bound, epoch) as read
+//     from its lease plane. Summaries are not ordered — they are advisory
+//     inputs to the receiving group's merge rule, which funnels any influence
+//     through a federated CCS round so §3 determinism is preserved.
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// CCSFedPayload is the payload of a federated offset-adoption message
+// (TypeCCSFed). The header's Seq carries the federation round number, under
+// the reserved federation thread identifier. Proposed is the sender's local
+// clock plus the bounded inter-group nudge; Slack is the inter-group
+// precision term every member folds into its published staleness bound on
+// adoption (it covers how far ahead any neighbor group may plausibly be).
+type CCSFedPayload struct {
+	Proposed time.Duration
+	Slack    time.Duration
+}
+
+const ccsFedPayloadLen = 8 + 8
+
+// MarshalCCSFed encodes p.
+func MarshalCCSFed(p CCSFedPayload) []byte {
+	buf := make([]byte, ccsFedPayloadLen)
+	binary.BigEndian.PutUint64(buf[0:], uint64(p.Proposed))
+	binary.BigEndian.PutUint64(buf[8:], uint64(p.Slack))
+	return buf
+}
+
+// UnmarshalCCSFed decodes a federated CCS payload.
+func UnmarshalCCSFed(b []byte) (CCSFedPayload, error) {
+	if len(b) != ccsFedPayloadLen {
+		return CCSFedPayload{}, fmt.Errorf("%w: fed CCS payload %d bytes, want %d",
+			ErrTruncated, len(b), ccsFedPayloadLen)
+	}
+	return CCSFedPayload{
+		Proposed: time.Duration(binary.BigEndian.Uint64(b[0:])),
+		Slack:    time.Duration(binary.BigEndian.Uint64(b[8:])),
+	}, nil
+}
+
+// GroupSummary is one group's clock summary exchanged with parent/peer
+// groups: the current group clock and honest staleness bound as read from
+// the sender's lease plane, the lease epoch it was read under, and a
+// per-sender sequence number for replay rejection.
+type GroupSummary struct {
+	Group      GroupID // sending group
+	Sender     uint32  // sending member (transport identity within the group)
+	Epoch      uint64  // sender's lease epoch at the reading
+	Seq        uint64  // per-(group, sender) monotone sequence number
+	GroupClock time.Duration
+	Bound      time.Duration
+}
+
+const (
+	fedMagic          = 0xCF
+	fedVersion        = 1
+	fedMACLen         = 16 // HMAC-SHA256 truncated
+	groupSummaryLen   = 2 + 4 + 4 + 8 + 8 + 8 + 8
+	groupSummaryFrame = groupSummaryLen + fedMACLen
+)
+
+// ErrBadMAC is returned for a summary frame whose authenticator does not
+// verify under the configured federation key.
+var ErrBadMAC = errors.New("wire: summary authentication failed")
+
+func summaryMAC(key, frame []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(frame)
+	return mac.Sum(nil)[:fedMACLen]
+}
+
+// MarshalGroupSummary encodes p as a standalone authenticated frame: magic,
+// version, the fixed-width fields, and a truncated HMAC-SHA256 over all
+// preceding bytes under key.
+func MarshalGroupSummary(p GroupSummary, key []byte) []byte {
+	buf := make([]byte, groupSummaryFrame)
+	buf[0] = fedMagic
+	buf[1] = fedVersion
+	binary.BigEndian.PutUint32(buf[2:], uint32(p.Group))
+	binary.BigEndian.PutUint32(buf[6:], p.Sender)
+	binary.BigEndian.PutUint64(buf[10:], p.Epoch)
+	binary.BigEndian.PutUint64(buf[18:], p.Seq)
+	binary.BigEndian.PutUint64(buf[26:], uint64(p.GroupClock))
+	binary.BigEndian.PutUint64(buf[34:], uint64(p.Bound))
+	copy(buf[groupSummaryLen:], summaryMAC(key, buf[:groupSummaryLen]))
+	return buf
+}
+
+// UnmarshalGroupSummary decodes and authenticates a summary frame produced
+// by MarshalGroupSummary under the same key.
+func UnmarshalGroupSummary(b, key []byte) (GroupSummary, error) {
+	if len(b) != groupSummaryFrame {
+		return GroupSummary{}, fmt.Errorf("%w: summary %d bytes, want %d",
+			ErrShortMessage, len(b), groupSummaryFrame)
+	}
+	if b[0] != fedMagic {
+		return GroupSummary{}, ErrBadMagic
+	}
+	if b[1] != fedVersion {
+		return GroupSummary{}, fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+	}
+	if !hmac.Equal(b[groupSummaryLen:], summaryMAC(key, b[:groupSummaryLen])) {
+		return GroupSummary{}, ErrBadMAC
+	}
+	return GroupSummary{
+		Group:      GroupID(binary.BigEndian.Uint32(b[2:])),
+		Sender:     binary.BigEndian.Uint32(b[6:]),
+		Epoch:      binary.BigEndian.Uint64(b[10:]),
+		Seq:        binary.BigEndian.Uint64(b[18:]),
+		GroupClock: time.Duration(binary.BigEndian.Uint64(b[26:])),
+		Bound:      time.Duration(binary.BigEndian.Uint64(b[34:])),
+	}, nil
+}

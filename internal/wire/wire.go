@@ -37,6 +37,12 @@ const (
 	// five types, so every earlier message keeps its encoding — old and new
 	// nodes agree on all shared message types.
 	TypeCCSBatch
+	// TypeCCSFed is a federated offset-adoption round (federation.go):
+	// ordered inside one group like any CCS message, its decided value nudges
+	// the group clock toward neighbor groups under the bounded-influence
+	// merge rule. Appended after TypeCCSBatch for the same compatibility
+	// reason.
+	TypeCCSFed
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +60,8 @@ func (t MsgType) String() string {
 		return "CHECKPOINT"
 	case TypeCCSBatch:
 		return "CCS_BATCH"
+	case TypeCCSFed:
+		return "CCS_FED"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
